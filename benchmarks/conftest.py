@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper.
+The benchmarks run at the "smoke" experiment scale by default so that
+``pytest benchmarks/ --benchmark-only`` completes in minutes; set the
+``REPRO_BENCH_SCALE`` environment variable to ``ci`` or ``full`` to run
+the heavier configurations.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.pipeline import DatasetPipeline
+
+#: Scale used by the benchmarks (overridable via the environment).
+BENCH_SCALE_NAME = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+def bench_scale() -> ExperimentScale:
+    """The experiment scale benchmarks run at."""
+    return get_scale(BENCH_SCALE_NAME)
+
+
+@pytest.fixture(scope="session")
+def pipeline() -> DatasetPipeline:
+    """One pipeline shared by all benchmarks (baselines/GA runs are cached)."""
+    return DatasetPipeline(bench_scale())

@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the framework's hot primitives.
+
+These are not tied to a specific table/figure; they track the cost of
+the operations the GA loop executes millions of times (candidate
+inference, FA counting, chromosome decode) plus the netlist generation
+used by the verification flow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx.config import ApproxConfig
+from repro.approx.mlp import ApproximateMLP
+from repro.approx.topology import Topology
+from repro.core.chromosome import ChromosomeLayout
+from repro.hardware.adder_tree import mlp_fa_count
+from repro.hardware.fast_area import fast_mlp_fa_count
+from repro.hardware.netlist import build_neuron_netlist
+
+
+@pytest.fixture(scope="module")
+def mlp():
+    rng = np.random.default_rng(0)
+    return ApproximateMLP.random(Topology((16, 5, 10)), ApproxConfig(), rng, mask_density=0.6)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return np.random.default_rng(1).integers(0, 16, size=(1024, 16))
+
+
+def test_bench_candidate_inference(benchmark, mlp, batch):
+    """Integer forward pass over 1024 samples (the GA fitness inner loop)."""
+    scores = benchmark(lambda: mlp.forward(batch))
+    assert scores.shape == (1024, 10)
+
+
+def test_bench_fast_fa_count(benchmark, mlp):
+    """Vectorized FA counting (the GA area objective)."""
+    count = benchmark(lambda: fast_mlp_fa_count(mlp))
+    assert count == mlp_fa_count(mlp)
+
+
+def test_bench_reference_fa_count(benchmark, mlp):
+    """Reference (per-bit Python) FA counting, for comparison."""
+    count = benchmark(lambda: mlp_fa_count(mlp))
+    assert count > 0
+
+
+def test_bench_chromosome_decode(benchmark, mlp):
+    """Chromosome decode (runs once per fitness evaluation)."""
+    layout = ChromosomeLayout(mlp.topology, mlp.config)
+    chromosome = layout.encode(mlp)
+    decoded = benchmark(lambda: layout.decode(chromosome))
+    assert decoded.topology.sizes == mlp.topology.sizes
+
+
+def test_bench_neuron_netlist_generation(benchmark, mlp):
+    """Gate-level netlist construction of one neuron (verification flow)."""
+    neuron = mlp.layers[0].neuron(0)
+    netlist = benchmark(lambda: build_neuron_netlist(neuron))
+    assert netlist.num_gates >= 0

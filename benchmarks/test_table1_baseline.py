@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table I (exact bespoke baseline MLPs).
+
+Reports, per dataset, the baseline accuracy and synthesized area/power
+and times the Table I flow (gradient training + post-training
+quantization + hardware analysis).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_table1_baseline(benchmark, pipeline):
+    """Time the Table I regeneration and check its qualitative shape."""
+    rows = benchmark.pedantic(lambda: run_table1(pipeline), rounds=1, iterations=1)
+    print("\n" + format_table1(rows))
+
+    assert len(rows) == len(pipeline.scale.datasets)
+    for row in rows:
+        # Baseline bespoke MLPs are large and power hungry: beyond any
+        # printed battery (paper Table I: >=12 cm2 and >=40 mW).
+        assert row["area_cm2"] > 2.0
+        assert row["power_mw"] > 5.0
+        # And reach reasonable accuracy (the paper value minus a generous
+        # margin for the reduced sample counts of the benchmark scale).
+        assert row["accuracy"] > row["paper_accuracy"] - 0.25

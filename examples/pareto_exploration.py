@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Pareto exploration: from the estimated front to the true hardware front.
+
+Mirrors the full framework of the paper's Fig. 2 on the Red Wine MLP
+(topology (11, 2, 6)):
+
+* genetic training produces an *estimated* Pareto front whose area proxy
+  is the Full-Adder count,
+* every front member is then pushed through the hardware analysis
+  (synthesis model) to obtain its true area/power,
+* the *true* Pareto front is extracted and printed, together with the
+  operating points a designer could pick for different accuracy budgets.
+
+Run with::
+
+    python examples/pareto_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines.exact_bespoke import train_exact_baseline
+from repro.baselines.gradient import GradientTrainer
+from repro.core import GAConfig, GATrainer
+from repro.datasets import load_dataset
+from repro.datasets.registry import get_spec
+from repro.evaluation.pareto_analysis import evaluate_front, select_design, true_pareto_front
+from repro.evaluation.report import format_table
+
+
+def main() -> None:
+    spec = get_spec("redwine")
+    dataset = load_dataset("redwine", seed=0)
+    x_train, y_train = dataset.quantized_train()
+    x_test, y_test = dataset.quantized_test()
+
+    print(f"Dataset: {spec.name}, topology {spec.mlp_topology}")
+    bespoke, float_model = train_exact_baseline(
+        dataset.train.features,
+        dataset.train.labels,
+        spec.mlp_topology,
+        trainer=GradientTrainer(epochs=120, restarts=3, seed=0),
+    )
+    baseline_accuracy = bespoke.accuracy(x_test, y_test)
+    baseline_report = bespoke.synthesize(clock_period_ms=spec.clock_period_ms)
+
+    trainer = GATrainer(
+        spec.mlp_topology, ga_config=GAConfig(population_size=50, generations=40, seed=2)
+    )
+    result = trainer.train(
+        x_train,
+        y_train,
+        baseline_accuracy=bespoke.accuracy(x_train, y_train),
+        seed_model=float_model,
+    )
+
+    # Hardware analysis of every estimated-front member.
+    designs = evaluate_front(
+        result, x_test, y_test, clock_period_ms=spec.clock_period_ms, max_designs=30
+    )
+    front = true_pareto_front(designs)
+
+    rows = [
+        [
+            int(design.point.area),
+            design.test_accuracy,
+            design.area_cm2,
+            design.power_mw,
+            baseline_report.area_cm2 / design.area_cm2,
+        ]
+        for design in front
+    ]
+    print("\nTrue Pareto front after hardware analysis "
+          f"(baseline: acc={baseline_accuracy:.3f}, area={baseline_report.area_cm2:.1f} cm2):")
+    print(format_table(["FA count", "Test acc", "Area (cm2)", "Power (mW)", "Area gain"], rows))
+
+    print("\nOperating points for different accuracy budgets:")
+    for budget in (0.02, 0.05, 0.10):
+        chosen = select_design(designs, baseline_accuracy, max_accuracy_loss=budget)
+        if chosen is None:
+            continue
+        print(
+            f"  loss <= {budget:.0%}: accuracy {chosen.test_accuracy:.3f}, "
+            f"area {chosen.area_cm2:.3f} cm2, power {chosen.power_mw:.3f} mW"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: train a hardware-approximation-aware printed MLP.
+
+This is the smallest end-to-end use of the library's public API:
+
+1. load a dataset (the Breast Cancer stand-in, topology (10, 3, 2)),
+2. run the genetic, hardware-aware training (NSGA-II over masks, pow2
+   weights and biases),
+3. inspect the estimated area/accuracy Pareto front,
+4. synthesize the selected design and compare it with the exact bespoke
+   baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines.exact_bespoke import train_exact_baseline
+from repro.baselines.gradient import GradientTrainer
+from repro.core import GAConfig, GATrainer
+from repro.datasets import load_dataset
+from repro.datasets.registry import get_spec
+from repro.evaluation.report import reduction_factor
+from repro.hardware.synthesis import synthesize_approximate_mlp
+
+
+def main() -> None:
+    spec = get_spec("breast_cancer")
+    dataset = load_dataset("breast_cancer", seed=0)
+    x_train, y_train = dataset.quantized_train()
+    x_test, y_test = dataset.quantized_test()
+
+    # 1. Exact bespoke baseline (gradient training + 8-bit quantization).
+    print("Training the exact bespoke baseline ...")
+    bespoke, float_model = train_exact_baseline(
+        dataset.train.features,
+        dataset.train.labels,
+        spec.mlp_topology,
+        trainer=GradientTrainer(epochs=120, restarts=2, seed=0),
+    )
+    baseline_accuracy = bespoke.accuracy(x_test, y_test)
+    baseline_report = bespoke.synthesize(clock_period_ms=spec.clock_period_ms)
+    print(
+        f"  baseline: accuracy={baseline_accuracy:.3f}, "
+        f"area={baseline_report.area_cm2:.2f} cm2, power={baseline_report.power_mw:.2f} mW"
+    )
+
+    # 2. Genetic hardware-approximation-aware training.
+    print("Running the genetic hardware-aware training (NSGA-II) ...")
+    trainer = GATrainer(
+        spec.mlp_topology,
+        ga_config=GAConfig(population_size=40, generations=30, seed=1),
+    )
+    result = trainer.train(
+        x_train,
+        y_train,
+        baseline_accuracy=bespoke.accuracy(x_train, y_train),
+        seed_model=float_model,
+    )
+    print(f"  {result.evaluations} chromosome evaluations "
+          f"in {result.wall_clock_seconds:.1f} s")
+
+    # 3. The estimated Pareto front (area proxy = Full-Adder count).
+    print("Estimated area/accuracy Pareto front:")
+    for point in result.estimated_front:
+        print(f"  FA count {int(point.area):5d}   train accuracy {point.accuracy:.3f}")
+
+    # 4. Pick the smallest design within a 5% accuracy loss and synthesize it.
+    point = result.select_within_accuracy_loss(0.05)
+    mlp = result.decode(point)
+    report = synthesize_approximate_mlp(mlp, clock_period_ms=spec.clock_period_ms)
+    test_accuracy = mlp.accuracy(x_test, y_test)
+    print("Selected approximate MLP (<=5% accuracy loss):")
+    print(f"  test accuracy : {test_accuracy:.3f} (baseline {baseline_accuracy:.3f})")
+    print(f"  area          : {report.area_cm2:.3f} cm2 "
+          f"({reduction_factor(baseline_report.area_cm2, report.area_cm2):.1f}x smaller)")
+    print(f"  power         : {report.power_mw:.3f} mW "
+          f"({reduction_factor(baseline_report.power_mw, report.power_mw):.1f}x lower)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work with the
+older setuptools/pip combinations found on offline machines (where the
+``wheel`` package needed for PEP 517 editable wheels may be missing).
+The metadata here mirrors ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Hardware-approximation-aware genetic training for bespoke printed "
+        "MLPs (DATE'24 reproduction)"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.21"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

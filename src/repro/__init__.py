@@ -1,0 +1,57 @@
+"""repro — hardware-approximation-aware genetic training for printed MLPs.
+
+A from-scratch Python reproduction of
+
+    "Embedding Hardware Approximations in Discrete Genetic-based Training
+    for Printed MLPs", DATE 2024.
+
+The package is organized bottom-up:
+
+* :mod:`repro.quant`      — fixed-point formats, quantizers, QReLU,
+* :mod:`repro.approx`     — the approximate (pow2 weights + bit masks) MLP,
+* :mod:`repro.hardware`   — FA-count area model, printed EGFET library,
+  analytical synthesis, gate-level netlists, printed power sources,
+* :mod:`repro.rtl`        — Verilog generation for the bespoke circuits,
+* :mod:`repro.core`       — NSGA-II based hardware-aware training,
+* :mod:`repro.baselines`  — gradient training, the exact bespoke baseline
+  and the TC'23 / TCAD'23 / DATE'21 comparators,
+* :mod:`repro.datasets`   — the five evaluation datasets (offline
+  synthetic stand-ins),
+* :mod:`repro.evaluation` — metrics, Pareto/hardware analysis, feasibility,
+* :mod:`repro.experiments`— regeneration of every table and figure.
+
+Quickstart
+----------
+>>> from repro.datasets import load_dataset
+>>> from repro.core import GAConfig, GATrainer
+>>> ds = load_dataset("breast_cancer", seed=0)
+>>> x, y = ds.quantized_train()
+>>> result = GATrainer((10, 3, 2), ga_config=GAConfig(population_size=24,
+...                                                   generations=10)).train(x, y)
+>>> front = result.estimated_front  # area/accuracy Pareto front
+"""
+
+from repro.approx import ApproxConfig, ApproximateMLP, Topology
+from repro.core import GAConfig, GAResult, GATrainer
+from repro.datasets import load_dataset
+from repro.hardware import (
+    mlp_fa_count,
+    synthesize_approximate_mlp,
+    synthesize_exact_mlp,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproxConfig",
+    "ApproximateMLP",
+    "Topology",
+    "GAConfig",
+    "GAResult",
+    "GATrainer",
+    "load_dataset",
+    "mlp_fa_count",
+    "synthesize_approximate_mlp",
+    "synthesize_exact_mlp",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Approximate printed-MLP model.
+
+This subpackage implements the hardware-approximated MLP of the paper:
+
+* power-of-two weights ``w = s * 2**k`` (:mod:`repro.approx.pow2`) —
+  multiplications reduce to rewiring (a constant shift),
+* per-connection bit masks on the input activations
+  (:mod:`repro.approx.masks`) — fine-grained unstructured pruning that
+  removes individual summand bits (and hence full adders) from the
+  multi-operand adder trees,
+* the integer-only forward model of equation (4)
+  (:mod:`repro.approx.neuron`, :mod:`repro.approx.layer`,
+  :mod:`repro.approx.mlp`).
+
+All learnable parameters are discrete integers, which is what motivates
+the genetic training flow of :mod:`repro.core`.
+"""
+
+from repro.approx.config import ApproxConfig
+from repro.approx.topology import Topology
+from repro.approx.pow2 import (
+    Pow2Weight,
+    pow2_value,
+    pow2_values,
+    nearest_pow2,
+    nearest_pow2_array,
+)
+from repro.approx.masks import (
+    apply_mask,
+    full_mask,
+    mask_popcount,
+    mask_to_bits,
+    bits_to_mask,
+    random_mask,
+)
+from repro.approx.neuron import ApproximateNeuron
+from repro.approx.layer import ApproximateLayer
+from repro.approx.mlp import ApproximateMLP
+
+__all__ = [
+    "ApproxConfig",
+    "Topology",
+    "Pow2Weight",
+    "pow2_value",
+    "pow2_values",
+    "nearest_pow2",
+    "nearest_pow2_array",
+    "apply_mask",
+    "full_mask",
+    "mask_popcount",
+    "mask_to_bits",
+    "bits_to_mask",
+    "random_mask",
+    "ApproximateNeuron",
+    "ApproximateLayer",
+    "ApproximateMLP",
+]

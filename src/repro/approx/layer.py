@@ -1,0 +1,180 @@
+"""A fully connected layer of approximate neurons.
+
+The layer stores its parameters as dense ``(fan_in, fan_out)`` arrays so
+that inference over a whole dataset is a handful of vectorized numpy
+operations — this is what keeps genetic training (hundreds of thousands
+of candidate evaluations) tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.quant.qrelu import QReLU
+from repro.approx.neuron import ApproximateNeuron
+
+__all__ = ["ApproximateLayer", "worst_case_shift"]
+
+
+def worst_case_shift(
+    fan_in: int, input_bits: int, max_exponent: int, out_bits: int, bias_max: int = 0
+) -> int:
+    """Right shift that maps the worst-case accumulator into ``out_bits`` bits.
+
+    The worst case assumes all masks fully open, all signs positive and
+    all exponents at their maximum — the widest accumulator any neuron of
+    the layer could produce.  Using a topology-level worst case (rather
+    than a per-chromosome one) keeps the activation scaling identical for
+    every candidate the GA evaluates, which makes fitness values
+    comparable across the population.
+    """
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    max_acc = fan_in * (((1 << input_bits) - 1) << max_exponent) + max(bias_max, 0)
+    acc_bits = int(np.ceil(np.log2(max_acc + 1))) if max_acc > 0 else 1
+    return max(0, acc_bits - out_bits)
+
+
+@dataclass
+class ApproximateLayer:
+    """Dense layer of approximate neurons.
+
+    Attributes
+    ----------
+    masks, signs, exponents:
+        Integer arrays of shape ``(fan_in, fan_out)``.
+    biases:
+        Integer array of shape ``(fan_out,)``.
+    input_bits:
+        Bit-width of the incoming activations.
+    activation:
+        :class:`QReLU` for hidden layers, ``None`` for the output layer.
+    """
+
+    masks: np.ndarray
+    signs: np.ndarray
+    exponents: np.ndarray
+    biases: np.ndarray
+    input_bits: int
+    activation: Optional[QReLU] = field(default=None)
+
+    def __post_init__(self) -> None:
+        self.masks = np.asarray(self.masks, dtype=np.int64)
+        self.signs = np.asarray(self.signs, dtype=np.int64)
+        self.exponents = np.asarray(self.exponents, dtype=np.int64)
+        self.biases = np.asarray(self.biases, dtype=np.int64)
+        if self.masks.ndim != 2:
+            raise ValueError("masks must be a (fan_in, fan_out) matrix")
+        if not (self.masks.shape == self.signs.shape == self.exponents.shape):
+            raise ValueError("masks, signs and exponents must share the same shape")
+        if self.biases.shape != (self.masks.shape[1],):
+            raise ValueError(
+                f"biases must have shape ({self.masks.shape[1]},), got {self.biases.shape}"
+            )
+        if self.input_bits <= 0:
+            raise ValueError(f"input_bits must be positive, got {self.input_bits}")
+        max_mask = (1 << self.input_bits) - 1
+        if np.any((self.masks < 0) | (self.masks > max_mask)):
+            raise ValueError(f"masks must lie in [0, {max_mask}]")
+        if np.any((self.signs != 1) & (self.signs != -1)):
+            raise ValueError("signs must be -1 or +1")
+        if np.any(self.exponents < 0):
+            raise ValueError("exponents must be non-negative")
+
+    @property
+    def fan_in(self) -> int:
+        """Number of layer inputs."""
+        return int(self.masks.shape[0])
+
+    @property
+    def fan_out(self) -> int:
+        """Number of neurons in the layer."""
+        return int(self.masks.shape[1])
+
+    @property
+    def output_bits(self) -> int:
+        """Bit-width of the layer outputs (activation width, or accumulator width)."""
+        if self.activation is not None:
+            return self.activation.out_bits
+        # Raw accumulator: conservative signed width estimate.
+        span = max(abs(self.min_accumulators().min(initial=0)),
+                   abs(self.max_accumulators().max(initial=0)), 1)
+        return int(np.ceil(np.log2(span + 1))) + 1
+
+    def accumulate(self, x: np.ndarray) -> np.ndarray:
+        """Accumulator values for every neuron.
+
+        Parameters
+        ----------
+        x:
+            Integer activations of shape ``(n_samples, fan_in)``.
+
+        Returns
+        -------
+        Accumulators of shape ``(n_samples, fan_out)``.
+        """
+        x = np.asarray(x, dtype=np.int64)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.shape[1] != self.fan_in:
+            raise ValueError(
+                f"expected inputs with {self.fan_in} features, got shape {x.shape}"
+            )
+        # (n, fan_in, 1) & (1, fan_in, fan_out) -> (n, fan_in, fan_out)
+        masked = x[:, :, None] & self.masks[None, :, :]
+        shifted = masked << self.exponents[None, :, :]
+        signed = shifted * self.signs[None, :, :]
+        return signed.sum(axis=1) + self.biases[None, :]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Layer output: QReLU of the accumulators, or raw accumulators."""
+        acc = self.accumulate(x)
+        if self.activation is None:
+            return acc
+        return self.activation(acc)
+
+    def neurons(self) -> Iterator[ApproximateNeuron]:
+        """Iterate over per-neuron views (used by the hardware cost models)."""
+        for j in range(self.fan_out):
+            yield self.neuron(j)
+
+    def neuron(self, index: int) -> ApproximateNeuron:
+        """Materialize neuron ``index`` as an :class:`ApproximateNeuron`."""
+        if not 0 <= index < self.fan_out:
+            raise IndexError(f"neuron index {index} out of range (fan_out={self.fan_out})")
+        return ApproximateNeuron(
+            masks=self.masks[:, index].copy(),
+            signs=self.signs[:, index].copy(),
+            exponents=self.exponents[:, index].copy(),
+            bias=int(self.biases[index]),
+            input_bits=self.input_bits,
+            activation=self.activation,
+        )
+
+    def max_accumulators(self) -> np.ndarray:
+        """Per-neuron largest reachable accumulator values."""
+        positive = ((self.masks << self.exponents) * (self.signs > 0)).sum(axis=0)
+        return positive + np.maximum(self.biases, 0)
+
+    def min_accumulators(self) -> np.ndarray:
+        """Per-neuron smallest (most negative) reachable accumulator values."""
+        negative = ((self.masks << self.exponents) * (self.signs < 0)).sum(axis=0)
+        return -negative + np.minimum(self.biases, 0)
+
+    @property
+    def active_connections(self) -> int:
+        """Number of connections with a non-zero mask."""
+        return int(np.count_nonzero(self.masks))
+
+    @property
+    def retained_bits(self) -> int:
+        """Total number of retained summand bits across the layer."""
+        from repro.approx.masks import mask_popcount
+
+        return int(mask_popcount(self.masks).sum())
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)

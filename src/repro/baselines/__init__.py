@@ -1,0 +1,28 @@
+"""Baselines and state-of-the-art comparators.
+
+* :mod:`repro.baselines.gradient` — conventional floating-point MLP
+  training with backpropagation (the "Exec. Time Grad." column of
+  Table III and the starting point of every post-training baseline).
+* :mod:`repro.baselines.exact_bespoke` — the exact bespoke printed MLP
+  of Mubarik et al. (MICRO'20): 8-bit fixed-point weights, 4-bit inputs,
+  hard-wired coefficients (the paper's baseline, Table I).
+* :mod:`repro.baselines.approx_tc23` — the post-training co-design
+  approach of Armeniakos et al. (IEEE TC 2023): area-efficient
+  coefficient replacement plus accumulator truncation.
+* :mod:`repro.baselines.vos_tcad23` — the cross-approximation +
+  voltage-over-scaling approach of Armeniakos et al. (TCAD 2023).
+* :mod:`repro.baselines.stochastic_date21` — the stochastic-computing
+  printed MLP of Weller et al. (DATE 2021).
+"""
+
+from repro.baselines.gradient import FloatMLP, GradientTrainer, TrainingResult
+from repro.baselines.exact_bespoke import BespokeMLP, quantize_float_mlp, train_exact_baseline
+
+__all__ = [
+    "FloatMLP",
+    "GradientTrainer",
+    "TrainingResult",
+    "BespokeMLP",
+    "quantize_float_mlp",
+    "train_exact_baseline",
+]

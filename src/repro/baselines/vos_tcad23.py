@@ -1,0 +1,158 @@
+"""Cross-approximation + voltage over-scaling baseline (TCAD 2023).
+
+Armeniakos et al. (TCAD'23) extend their cross-layer approximation
+(coefficient replacement with area-efficient values plus gate-level
+pruning of the additions) with *voltage over-scaling* (VOS): the supply
+is dropped below the nominal 1 V (the paper's comparison operates these
+circuits below 0.8 V), which saves power quadratically but lets timing
+errors creep into the longest adder-tree paths.
+
+The reproduction models VOS behaviourally: below the safe supply, every
+neuron accumulation suffers a bit-flip in one of its most significant
+carry positions with a probability that grows with the over-scaling
+depth.  This captures the characteristic accuracy/power trade-off of the
+method without a full timing simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.approx_tc23 import Tc23Config, Tc23ApproximateMLP
+from repro.baselines.exact_bespoke import BespokeMLP
+from repro.hardware.egfet import EGFETLibrary
+from repro.hardware.synthesis import HardwareReport
+from repro.quant.qrelu import qrelu
+
+__all__ = ["VosConfig", "VosApproximateMLP", "explore_vos"]
+
+
+@dataclass(frozen=True)
+class VosConfig:
+    """Operating point: coefficient approximation plus supply voltage."""
+
+    max_csd_digits: int = 2
+    voltage: float = 0.8
+    nominal_voltage: float = 1.0
+    error_rate_at_min: float = 0.08
+    min_voltage: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not self.min_voltage <= self.voltage <= self.nominal_voltage:
+            raise ValueError(
+                f"voltage must lie in [{self.min_voltage}, {self.nominal_voltage}], got {self.voltage}"
+            )
+        if not 0.0 <= self.error_rate_at_min <= 1.0:
+            raise ValueError("error_rate_at_min must lie in [0, 1]")
+
+    @property
+    def timing_error_probability(self) -> float:
+        """Per-neuron probability of a VOS-induced timing error."""
+        if self.voltage >= self.nominal_voltage - 1e-12:
+            return 0.0
+        depth = (self.nominal_voltage - self.voltage) / (
+            self.nominal_voltage - self.min_voltage
+        )
+        return float(np.clip(depth, 0.0, 1.0) * self.error_rate_at_min)
+
+
+@dataclass
+class VosApproximateMLP:
+    """A coefficient-approximated bespoke MLP operated under VOS."""
+
+    base: BespokeMLP
+    config: VosConfig
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._inner = Tc23ApproximateMLP(
+            base=self.base,
+            config=Tc23Config(max_csd_digits=self.config.max_csd_digits, truncation_bits=0),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Raw output scores including stochastic VOS timing errors."""
+        rng = np.random.default_rng(self.seed)
+        activations = np.asarray(x, dtype=np.int64)
+        if activations.ndim == 1:
+            activations = activations[None, :]
+        num_layers = self.base.topology.num_layers
+        error_p = self.config.timing_error_probability
+        for index in range(num_layers):
+            acc = activations @ self._inner.weight_codes[index] + self.base.bias_codes[index]
+            if error_p > 0.0:
+                # A timing error flips a high-order carry: model it as a
+                # +/- perturbation of about an eighth of the value range.
+                magnitude = np.maximum(np.abs(acc) // 8, 1)
+                flips = rng.random(acc.shape) < error_p
+                signs = rng.choice(np.array([-1, 1]), size=acc.shape)
+                acc = acc + flips * signs * magnitude
+            if index < num_layers - 1:
+                activations = qrelu(
+                    acc, shift=self.base.shifts[index], out_bits=self.base.activation_bits
+                )
+            else:
+                activations = acc
+        return activations
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class indices."""
+        return np.argmax(self.forward(x), axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy (including VOS error injection)."""
+        return float(np.mean(self.predict(x) == np.asarray(y)))
+
+    def synthesize(
+        self,
+        library: Optional[EGFETLibrary] = None,
+        clock_period_ms: float = 200.0,
+    ) -> HardwareReport:
+        """Hardware analysis at the over-scaled supply voltage."""
+        return self._inner.synthesize(
+            library=library, voltage=self.config.voltage, clock_period_ms=clock_period_ms
+        )
+
+
+def explore_vos(
+    base: BespokeMLP,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    baseline_accuracy: float,
+    max_accuracy_loss: float = 0.05,
+    csd_digit_options: Sequence[int] = (1, 2, 3),
+    voltage_options: Sequence[float] = (0.8, 0.7),
+    library: Optional[EGFETLibrary] = None,
+    clock_period_ms: float = 200.0,
+    seed: int = 0,
+) -> tuple[Optional[VosApproximateMLP], Optional[HardwareReport], List[dict]]:
+    """Sweep the TCAD'23 design space and pick the lowest-power admissible point."""
+    best_model: Optional[VosApproximateMLP] = None
+    best_report: Optional[HardwareReport] = None
+    sweep: List[dict] = []
+    for digits in csd_digit_options:
+        for voltage in voltage_options:
+            model = VosApproximateMLP(
+                base=base,
+                config=VosConfig(max_csd_digits=digits, voltage=voltage),
+                seed=seed,
+            )
+            accuracy = model.accuracy(inputs, labels)
+            report = model.synthesize(library=library, clock_period_ms=clock_period_ms)
+            sweep.append(
+                {
+                    "max_csd_digits": digits,
+                    "voltage": voltage,
+                    "accuracy": accuracy,
+                    "area_cm2": report.area_cm2,
+                    "power_mw": report.power_mw,
+                }
+            )
+            if accuracy < baseline_accuracy - max_accuracy_loss:
+                continue
+            if best_report is None or report.power_mw < best_report.power_mw:
+                best_model, best_report = model, report
+    return best_model, best_report, sweep

@@ -1,0 +1,49 @@
+"""Genetic, hardware-approximation-aware training (the paper's core).
+
+The training problem (equation (3)) is a two-objective minimization over
+discrete parameters:
+
+    min_theta [ 1 - Accuracy(theta, D),  Area(theta) ]
+
+where ``theta`` collects, for every connection, the mask ``m``, sign
+``s`` and power-of-two exponent ``k``, plus a bias ``b`` per neuron.
+Because the parameters are discrete (masks especially), gradients are
+unavailable and the paper trains with NSGA-II.
+
+* :mod:`repro.core.chromosome` — flat integer encoding of ``theta``
+  (genes grouped weight → neuron → layer, Fig. 3).
+* :mod:`repro.core.fitness` — the two objectives plus the 10 % accuracy
+  -loss feasibility constraint.
+* :mod:`repro.core.nsga2` — non-dominated sorting, crowding distance and
+  constrained-dominance tournament selection.
+* :mod:`repro.core.operators` — integer crossover and mutation.
+* :mod:`repro.core.population` — semi-random initialization doped with
+  nearly non-approximate individuals.
+* :mod:`repro.core.pareto` — Pareto-front utilities and hypervolume.
+* :mod:`repro.core.trainer` — the :class:`GATrainer` orchestrating the
+  whole flow and producing the estimated area/accuracy Pareto front.
+"""
+
+from repro.core.chromosome import ChromosomeLayout
+from repro.core.fitness import FitnessEvaluator, FitnessValues
+from repro.core.nsga2 import crowding_distance, fast_non_dominated_sort
+from repro.core.operators import GeneticOperators
+from repro.core.population import PopulationInitializer
+from repro.core.pareto import ParetoPoint, hypervolume, pareto_front
+from repro.core.trainer import GAConfig, GAResult, GATrainer
+
+__all__ = [
+    "ChromosomeLayout",
+    "FitnessEvaluator",
+    "FitnessValues",
+    "crowding_distance",
+    "fast_non_dominated_sort",
+    "GeneticOperators",
+    "PopulationInitializer",
+    "ParetoPoint",
+    "hypervolume",
+    "pareto_front",
+    "GAConfig",
+    "GAResult",
+    "GATrainer",
+]

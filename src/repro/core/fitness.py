@@ -1,0 +1,113 @@
+"""Fitness evaluation: the two objectives of equation (3) plus feasibility.
+
+For every chromosome the evaluator decodes the approximate MLP, computes
+
+* ``error = 1 - Accuracy(theta, D_train)`` using the integer forward
+  model of equation (4), and
+* ``area = FA-count(theta)`` using the fast vectorized Full-Adder
+  counter (the high-level area estimate of equation (2));
+
+and, when a baseline accuracy is supplied, a constraint violation equal
+to how far the candidate's accuracy loss exceeds the admissible bound
+(10 % during training, per Section IV-A).  The violation is used for
+constrained dominance in the NSGA-II selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.chromosome import ChromosomeLayout
+from repro.hardware.fast_area import fast_mlp_fa_count
+
+__all__ = ["FitnessValues", "FitnessEvaluator"]
+
+
+@dataclass(frozen=True)
+class FitnessValues:
+    """Objectives and feasibility of one evaluated chromosome."""
+
+    error: float
+    area: float
+    accuracy: float
+    constraint_violation: float = 0.0
+
+    @property
+    def objectives(self) -> np.ndarray:
+        """The minimization objectives ``[error, area]``."""
+        return np.array([self.error, self.area], dtype=np.float64)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the accuracy-loss constraint is satisfied."""
+        return self.constraint_violation <= 0.0
+
+
+class FitnessEvaluator:
+    """Evaluates chromosomes on accuracy and hardware area.
+
+    Parameters
+    ----------
+    layout:
+        Chromosome layout used to decode gene vectors.
+    train_inputs:
+        Integer-quantized training inputs (``(n_samples, num_inputs)``).
+    train_labels:
+        Training labels.
+    baseline_accuracy:
+        Accuracy of the exact baseline MLP; when given, candidates whose
+        accuracy drops more than ``max_accuracy_loss`` below it are
+        marked infeasible (constrained NSGA-II).
+    max_accuracy_loss:
+        Admissible accuracy loss during training (paper: 10 %).
+    """
+
+    def __init__(
+        self,
+        layout: ChromosomeLayout,
+        train_inputs: np.ndarray,
+        train_labels: np.ndarray,
+        baseline_accuracy: Optional[float] = None,
+        max_accuracy_loss: float = 0.10,
+    ) -> None:
+        self.layout = layout
+        self.train_inputs = np.asarray(train_inputs, dtype=np.int64)
+        self.train_labels = np.asarray(train_labels, dtype=np.int64)
+        if self.train_inputs.ndim != 2:
+            raise ValueError("train_inputs must be a 2-D integer array")
+        if self.train_inputs.shape[0] != self.train_labels.shape[0]:
+            raise ValueError("train_inputs and train_labels must have the same length")
+        if self.train_inputs.shape[1] != layout.topology.num_inputs:
+            raise ValueError(
+                f"train_inputs has {self.train_inputs.shape[1]} features, "
+                f"topology expects {layout.topology.num_inputs}"
+            )
+        if max_accuracy_loss < 0:
+            raise ValueError(f"max_accuracy_loss must be non-negative, got {max_accuracy_loss}")
+        self.baseline_accuracy = baseline_accuracy
+        self.max_accuracy_loss = max_accuracy_loss
+        self.evaluations = 0
+
+    def evaluate(self, chromosome: np.ndarray) -> FitnessValues:
+        """Evaluate one chromosome."""
+        mlp = self.layout.decode(chromosome)
+        accuracy = mlp.accuracy(self.train_inputs, self.train_labels)
+        area = float(fast_mlp_fa_count(mlp))
+        violation = 0.0
+        if self.baseline_accuracy is not None:
+            loss = self.baseline_accuracy - accuracy
+            violation = max(0.0, loss - self.max_accuracy_loss)
+        self.evaluations += 1
+        return FitnessValues(
+            error=1.0 - accuracy,
+            area=area,
+            accuracy=accuracy,
+            constraint_violation=violation,
+        )
+
+    def evaluate_population(self, population: Sequence[np.ndarray]) -> List[FitnessValues]:
+        """Evaluate every chromosome of a population."""
+        return [self.evaluate(chromosome) for chromosome in population]

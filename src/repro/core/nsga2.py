@@ -1,0 +1,152 @@
+"""NSGA-II machinery: non-dominated sorting, crowding, constrained dominance.
+
+The paper trains with the Non-dominated Sorting Genetic Algorithm II
+(Deb et al., 2002) because of its simplicity, low computational
+complexity and good convergence on two-objective problems.  This module
+implements the algorithm's selection machinery; the evolutionary loop
+lives in :mod:`repro.core.trainer`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "dominates",
+    "constrained_dominates",
+    "fast_non_dominated_sort",
+    "crowding_distance",
+    "nsga2_sort_key",
+]
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """Pareto dominance for minimization: ``a`` no worse everywhere, better somewhere."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def constrained_dominates(
+    a: np.ndarray, b: np.ndarray, violation_a: float = 0.0, violation_b: float = 0.0
+) -> bool:
+    """Deb's constrained-dominance relation.
+
+    A feasible solution dominates any infeasible one; among two
+    infeasible solutions the one with the smaller violation dominates;
+    among two feasible solutions ordinary Pareto dominance applies.
+    """
+    feasible_a = violation_a <= 0.0
+    feasible_b = violation_b <= 0.0
+    if feasible_a and not feasible_b:
+        return True
+    if not feasible_a and feasible_b:
+        return False
+    if not feasible_a and not feasible_b:
+        return violation_a < violation_b
+    return dominates(a, b)
+
+
+def fast_non_dominated_sort(
+    objectives: np.ndarray, violations: Sequence[float] | None = None
+) -> List[List[int]]:
+    """Sort a population into non-domination fronts.
+
+    Parameters
+    ----------
+    objectives:
+        Array of shape ``(n, n_objectives)`` (minimization).
+    violations:
+        Optional per-individual constraint violations; when given the
+        constrained-dominance relation is used.
+
+    Returns
+    -------
+    List of fronts, each a list of population indices; front 0 is the
+    non-dominated (best) front.
+    """
+    objectives = np.asarray(objectives, dtype=np.float64)
+    n = objectives.shape[0]
+    if violations is None:
+        violations = [0.0] * n
+    if len(violations) != n:
+        raise ValueError("violations must have one entry per individual")
+
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = np.zeros(n, dtype=np.int64)
+
+    for p in range(n):
+        for q in range(p + 1, n):
+            p_dom_q = constrained_dominates(
+                objectives[p], objectives[q], violations[p], violations[q]
+            )
+            q_dom_p = constrained_dominates(
+                objectives[q], objectives[p], violations[q], violations[p]
+            )
+            if p_dom_q:
+                dominated_by[p].append(q)
+                domination_count[q] += 1
+            elif q_dom_p:
+                dominated_by[q].append(p)
+                domination_count[p] += 1
+
+    fronts: List[List[int]] = []
+    current = [int(i) for i in np.flatnonzero(domination_count == 0)]
+    while current:
+        fronts.append(current)
+        next_front: List[int] = []
+        for p in current:
+            for q in dominated_by[p]:
+                domination_count[q] -= 1
+                if domination_count[q] == 0:
+                    next_front.append(q)
+        current = next_front
+    return fronts
+
+
+def crowding_distance(objectives: np.ndarray) -> np.ndarray:
+    """Crowding distance of each individual within one front.
+
+    Boundary individuals of every objective receive an infinite distance
+    so that the extremes of the front are always preserved.
+    """
+    objectives = np.asarray(objectives, dtype=np.float64)
+    n, m = objectives.shape
+    if n == 0:
+        return np.zeros(0)
+    distance = np.zeros(n, dtype=np.float64)
+    if n <= 2:
+        return np.full(n, np.inf)
+    for obj in range(m):
+        order = np.argsort(objectives[:, obj], kind="stable")
+        spread = objectives[order[-1], obj] - objectives[order[0], obj]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if spread <= 0:
+            continue
+        gaps = (objectives[order[2:], obj] - objectives[order[:-2], obj]) / spread
+        distance[order[1:-1]] += gaps
+    return distance
+
+
+def nsga2_sort_key(
+    objectives: np.ndarray, violations: Sequence[float] | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rank and crowding distance of every individual in a population.
+
+    Returns
+    -------
+    (ranks, crowding):
+        ``ranks[i]`` is the front index of individual ``i`` (0 is best),
+        ``crowding[i]`` its crowding distance within that front.
+    """
+    objectives = np.asarray(objectives, dtype=np.float64)
+    fronts = fast_non_dominated_sort(objectives, violations)
+    ranks = np.zeros(objectives.shape[0], dtype=np.int64)
+    crowding = np.zeros(objectives.shape[0], dtype=np.float64)
+    for rank, front in enumerate(fronts):
+        ranks[front] = rank
+        crowding[front] = crowding_distance(objectives[front])
+    return ranks, crowding

@@ -1,0 +1,164 @@
+"""Genetic operators: tournament selection, crossover and mutation.
+
+The operators work directly on the integer gene vectors produced by
+:class:`~repro.core.chromosome.ChromosomeLayout`:
+
+* **binary tournament selection** with the usual NSGA-II criterion
+  (lower rank wins, ties broken by larger crowding distance),
+* **uniform** or **one-point crossover** ("crossover combines winning
+  weights"),
+* **mutation** that treats mask genes specially: instead of re-drawing
+  the whole mask value, individual bits are flipped, which is the
+  natural neighbourhood for the fine-grained pruning decision.  Sign,
+  exponent and bias genes receive a random-reset / creep mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.chromosome import ChromosomeLayout
+
+__all__ = ["GeneticOperators"]
+
+
+@dataclass
+class GeneticOperators:
+    """Crossover, mutation and tournament selection on integer chromosomes.
+
+    Parameters
+    ----------
+    layout:
+        Chromosome layout (gene bounds and mask-gene positions).
+    crossover_probability:
+        Probability that a mating pair undergoes crossover (paper: 0.7).
+    mutation_probability:
+        Per-gene mutation probability (paper: 0.2 %–ish per gene is far
+        too low for the short chromosomes of printed MLPs; the default
+        0.02 mutates a handful of genes per child, and the trainer's
+        configuration exposes it).
+    crossover:
+        ``"uniform"`` or ``"one_point"``.
+    creep_fraction:
+        Fraction of non-mask mutations that use a +/-1 creep step instead
+        of a full random reset.
+    """
+
+    layout: ChromosomeLayout
+    crossover_probability: float = 0.7
+    mutation_probability: float = 0.02
+    crossover: str = "uniform"
+    creep_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.crossover_probability <= 1.0:
+            raise ValueError("crossover_probability must lie in [0, 1]")
+        if not 0.0 <= self.mutation_probability <= 1.0:
+            raise ValueError("mutation_probability must lie in [0, 1]")
+        if self.crossover not in ("uniform", "one_point"):
+            raise ValueError(f"unknown crossover kind {self.crossover!r}")
+        if not 0.0 <= self.creep_fraction <= 1.0:
+            raise ValueError("creep_fraction must lie in [0, 1]")
+        self._mask_bits = self.layout.mask_bits_per_gene
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def tournament_select(
+        self,
+        population: Sequence[np.ndarray],
+        ranks: np.ndarray,
+        crowding: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Binary tournament by (rank, crowding distance)."""
+        n = len(population)
+        if n == 0:
+            raise ValueError("population is empty")
+        if n == 1:
+            return population[0].copy()
+        a, b = rng.choice(n, size=2, replace=False)
+        if ranks[a] < ranks[b]:
+            winner = a
+        elif ranks[b] < ranks[a]:
+            winner = b
+        elif crowding[a] > crowding[b]:
+            winner = a
+        elif crowding[b] > crowding[a]:
+            winner = b
+        else:
+            winner = a if rng.random() < 0.5 else b
+        return population[winner].copy()
+
+    # ------------------------------------------------------------------
+    # Crossover
+    # ------------------------------------------------------------------
+    def crossover_pair(
+        self, parent_a: np.ndarray, parent_b: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Produce two children from two parents."""
+        parent_a = np.asarray(parent_a, dtype=np.int64)
+        parent_b = np.asarray(parent_b, dtype=np.int64)
+        if parent_a.shape != parent_b.shape:
+            raise ValueError("parents must have the same shape")
+        if rng.random() >= self.crossover_probability:
+            return parent_a.copy(), parent_b.copy()
+        if self.crossover == "uniform":
+            take_from_a = rng.random(parent_a.shape[0]) < 0.5
+            child_a = np.where(take_from_a, parent_a, parent_b)
+            child_b = np.where(take_from_a, parent_b, parent_a)
+        else:  # one_point
+            point = int(rng.integers(1, max(parent_a.shape[0], 2)))
+            child_a = np.concatenate([parent_a[:point], parent_b[point:]])
+            child_b = np.concatenate([parent_b[:point], parent_a[point:]])
+        return child_a.astype(np.int64), child_b.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def mutate(self, chromosome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Mutate a chromosome in place-safe fashion (returns a copy)."""
+        child = np.asarray(chromosome, dtype=np.int64).copy()
+        genes_to_mutate = rng.random(child.shape[0]) < self.mutation_probability
+        indices = np.flatnonzero(genes_to_mutate)
+        for index in indices:
+            lower = int(self.layout.lower_bounds[index])
+            upper = int(self.layout.upper_bounds[index])
+            if self.layout.mask_gene_flags[index]:
+                bits = int(self._mask_bits[index])
+                flip = 1 << int(rng.integers(0, max(bits, 1)))
+                child[index] ^= flip
+            elif upper - lower <= 1:
+                # Binary genes (signs): flip.
+                child[index] = upper if child[index] == lower else lower
+            elif rng.random() < self.creep_fraction:
+                step = -1 if rng.random() < 0.5 else 1
+                child[index] = int(np.clip(child[index] + step, lower, upper))
+            else:
+                child[index] = int(rng.integers(lower, upper + 1))
+        return self.layout.clip(child)
+
+    # ------------------------------------------------------------------
+    # Offspring generation
+    # ------------------------------------------------------------------
+    def make_offspring(
+        self,
+        population: Sequence[np.ndarray],
+        ranks: np.ndarray,
+        crowding: np.ndarray,
+        count: int,
+        rng: np.random.Generator,
+    ) -> List[np.ndarray]:
+        """Produce ``count`` children via selection, crossover and mutation."""
+        children: List[np.ndarray] = []
+        while len(children) < count:
+            parent_a = self.tournament_select(population, ranks, crowding, rng)
+            parent_b = self.tournament_select(population, ranks, crowding, rng)
+            child_a, child_b = self.crossover_pair(parent_a, parent_b, rng)
+            children.append(self.mutate(child_a, rng))
+            if len(children) < count:
+                children.append(self.mutate(child_b, rng))
+        return children

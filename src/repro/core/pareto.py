@@ -1,0 +1,145 @@
+"""Pareto-front utilities and quality indicators.
+
+The output of the genetic training is an *estimated* area/accuracy
+Pareto front (Fig. 2); the hardware-analysis step then evaluates the
+front's members with the synthesis model to obtain the *true* front.
+This module provides the front bookkeeping shared by both steps plus the
+two-objective hypervolume indicator used in the convergence ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.nsga2 import dominates
+
+__all__ = ["ParetoPoint", "pareto_front", "hypervolume", "ParetoArchive"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate solution with its two objectives.
+
+    ``error`` and ``area`` are the minimization objectives; ``accuracy``
+    is kept alongside for reporting, and ``payload`` carries whatever the
+    producer wants to attach (typically the chromosome).
+    """
+
+    error: float
+    area: float
+    accuracy: float
+    payload: Optional[object] = field(default=None, compare=False)
+
+    @property
+    def objectives(self) -> np.ndarray:
+        """The minimization objectives ``[error, area]``."""
+        return np.array([self.error, self.area], dtype=np.float64)
+
+
+def pareto_front(points: Iterable[ParetoPoint]) -> List[ParetoPoint]:
+    """Non-dominated subset of ``points``, sorted by ascending area.
+
+    Duplicate objective vectors are collapsed to a single representative.
+    """
+    points = list(points)
+    front: List[ParetoPoint] = []
+    for candidate in points:
+        candidate_dominated = False
+        for other in points:
+            if other is candidate:
+                continue
+            if dominates(other.objectives, candidate.objectives):
+                candidate_dominated = True
+                break
+        if candidate_dominated:
+            continue
+        if any(
+            np.allclose(candidate.objectives, kept.objectives) for kept in front
+        ):
+            continue
+        front.append(candidate)
+    return sorted(front, key=lambda p: (p.area, p.error))
+
+
+def hypervolume(
+    points: Sequence[ParetoPoint], reference: tuple[float, float]
+) -> float:
+    """Two-objective hypervolume dominated by ``points`` w.r.t. ``reference``.
+
+    Both objectives are minimized; points outside the reference box are
+    clipped out.  Larger is better.
+    """
+    ref_error, ref_area = float(reference[0]), float(reference[1])
+    front = pareto_front(points)
+    usable = [p for p in front if p.error < ref_error and p.area < ref_area]
+    if not usable:
+        return 0.0
+    usable.sort(key=lambda p: p.error)
+    volume = 0.0
+    previous_area = ref_area
+    for point in usable:
+        width = ref_error - point.error
+        height = previous_area - point.area
+        if height > 0:
+            volume += width * height
+            previous_area = point.area
+    return volume
+
+
+class ParetoArchive:
+    """Bounded archive of the non-dominated points seen so far.
+
+    The GA trainer feeds every evaluated individual into the archive;
+    keeping the archive (rather than just the final population) mirrors
+    the paper's practice of synthesizing the whole estimated Pareto set.
+    """
+
+    def __init__(self, max_size: int = 256) -> None:
+        if max_size <= 0:
+            raise ValueError(f"max_size must be positive, got {max_size}")
+        self.max_size = max_size
+        self._points: List[ParetoPoint] = []
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> List[ParetoPoint]:
+        """Current archive contents (non-dominated, sorted by area)."""
+        return list(self._points)
+
+    def add(self, point: ParetoPoint) -> bool:
+        """Insert ``point`` if it is not dominated; returns True if kept."""
+        for existing in self._points:
+            if dominates(existing.objectives, point.objectives) or np.allclose(
+                existing.objectives, point.objectives
+            ):
+                return False
+        self._points = [
+            existing
+            for existing in self._points
+            if not dominates(point.objectives, existing.objectives)
+        ]
+        self._points.append(point)
+        self._points.sort(key=lambda p: (p.area, p.error))
+        if len(self._points) > self.max_size:
+            self._thin()
+        return True
+
+    def extend(self, points: Iterable[ParetoPoint]) -> int:
+        """Add many points; returns how many were kept."""
+        return sum(1 for point in points if self.add(point))
+
+    def _thin(self) -> None:
+        """Drop the most crowded interior points until the archive fits."""
+        while len(self._points) > self.max_size:
+            # Keep extremes; remove the point whose neighbours are closest.
+            areas = np.array([p.area for p in self._points])
+            gaps = np.diff(areas)
+            # Crowding of interior point i is gap[i-1] + gap[i].
+            crowding = gaps[:-1] + gaps[1:]
+            drop = int(np.argmin(crowding)) + 1
+            del self._points[drop]

@@ -1,0 +1,83 @@
+"""Preprocessing: normalization and stratified splitting.
+
+The paper normalizes all inputs to ``[0, 1]`` (as in the bespoke
+baseline work) and uses a random stratified 70 %/30 % train/test split
+that preserves the class distribution in both subsets.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["normalize_01", "stratified_split"]
+
+
+def normalize_01(
+    features: np.ndarray, reference: np.ndarray | None = None
+) -> np.ndarray:
+    """Min-max normalize every feature column to ``[0, 1]``.
+
+    Parameters
+    ----------
+    features:
+        Array of shape ``(n_samples, n_features)``.
+    reference:
+        Optional array whose per-column min/max define the normalization
+        (e.g. normalize the test set with the training set's statistics).
+        Defaults to ``features`` itself.  Values outside the reference
+        range are clipped to ``[0, 1]``.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError(f"features must be 2-D, got shape {features.shape}")
+    reference = features if reference is None else np.asarray(reference, dtype=np.float64)
+    lo = reference.min(axis=0)
+    hi = reference.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    normalized = (features - lo) / span
+    return np.clip(normalized, 0.0, 1.0)
+
+
+def stratified_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    train_fraction: float = 0.7,
+    rng: np.random.Generator | None = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random stratified train/test split.
+
+    Each class is shuffled and split independently so the class
+    proportions of the full dataset are (approximately) preserved in
+    both subsets, matching the paper's "randomly stratified split ...
+    ensuring a balanced distribution of each target class".
+
+    Returns
+    -------
+    (x_train, y_train, x_test, y_test)
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must lie in (0, 1), got {train_fraction}")
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    if features.shape[0] != labels.shape[0]:
+        raise ValueError("features and labels must have the same number of samples")
+    rng = rng or np.random.default_rng()
+
+    train_indices = []
+    test_indices = []
+    for cls in np.unique(labels):
+        cls_indices = np.flatnonzero(labels == cls)
+        cls_indices = rng.permutation(cls_indices)
+        # At least one sample of every class in each subset when possible.
+        n_train = int(round(train_fraction * len(cls_indices)))
+        n_train = min(max(n_train, 1), len(cls_indices) - 1) if len(cls_indices) > 1 else 1
+        train_indices.append(cls_indices[:n_train])
+        test_indices.append(cls_indices[n_train:])
+
+    train_idx = rng.permutation(np.concatenate(train_indices))
+    test_idx = rng.permutation(np.concatenate(test_indices)) if any(
+        len(t) for t in test_indices
+    ) else np.array([], dtype=np.int64)
+    return features[train_idx], labels[train_idx], features[test_idx], labels[test_idx]

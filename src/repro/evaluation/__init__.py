@@ -1,0 +1,31 @@
+"""Evaluation harness: metrics, hardware Pareto analysis, feasibility, reports."""
+
+from repro.evaluation.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    error_rate,
+    per_class_accuracy,
+)
+from repro.evaluation.pareto_analysis import (
+    EvaluatedDesign,
+    evaluate_front,
+    true_pareto_front,
+    select_design,
+)
+from repro.evaluation.feasibility import FeasibilityResult, assess_feasibility
+from repro.evaluation.report import format_table, reduction_factor
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "error_rate",
+    "per_class_accuracy",
+    "EvaluatedDesign",
+    "evaluate_front",
+    "true_pareto_front",
+    "select_design",
+    "FeasibilityResult",
+    "assess_feasibility",
+    "format_table",
+    "reduction_factor",
+]

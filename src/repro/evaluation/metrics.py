@@ -1,0 +1,45 @@
+"""Classification metrics used by the experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy_score", "error_rate", "confusion_matrix", "per_class_accuracy"]
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correctly classified samples."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy of zero samples")
+    return float(np.mean(y_true == y_pred))
+
+
+def error_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """``1 - accuracy`` (the first objective of equation (3))."""
+    return 1.0 - accuracy_score(y_true, y_pred)
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, num_classes: int) -> np.ndarray:
+    """``(num_classes, num_classes)`` matrix; rows are true classes."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if num_classes <= 0:
+        raise ValueError("num_classes must be positive")
+    if np.any((y_true < 0) | (y_true >= num_classes)):
+        raise ValueError("y_true contains labels outside [0, num_classes)")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    clipped_pred = np.clip(y_pred, 0, num_classes - 1)
+    np.add.at(matrix, (y_true, clipped_pred), 1)
+    return matrix
+
+
+def per_class_accuracy(y_true: np.ndarray, y_pred: np.ndarray, num_classes: int) -> np.ndarray:
+    """Recall of each class (NaN for classes absent from ``y_true``)."""
+    matrix = confusion_matrix(y_true, y_pred, num_classes)
+    totals = matrix.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)

@@ -1,0 +1,118 @@
+"""Hardware analysis of the estimated Pareto front (Fig. 2, right half).
+
+The GA returns an *estimated* Pareto front whose area objective is the
+Full-Adder count.  The paper then synthesizes every member, measures the
+true area/power with EDA tools, and extracts the *true* Pareto-optimal
+circuits.  This module performs the equivalent step with the analytical
+synthesis model: it evaluates every front member's test accuracy and
+hardware report, then returns the non-dominated (accuracy vs area) set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.pareto import ParetoPoint
+from repro.core.trainer import GAResult
+from repro.hardware.egfet import EGFETLibrary
+from repro.hardware.synthesis import HardwareReport, synthesize_approximate_mlp
+
+__all__ = ["EvaluatedDesign", "evaluate_front", "true_pareto_front", "select_design"]
+
+
+@dataclass(frozen=True)
+class EvaluatedDesign:
+    """A Pareto-front member after hardware analysis."""
+
+    point: ParetoPoint
+    test_accuracy: float
+    report: HardwareReport
+
+    @property
+    def area_cm2(self) -> float:
+        """Synthesized area."""
+        return self.report.area_cm2
+
+    @property
+    def power_mw(self) -> float:
+        """Synthesized power."""
+        return self.report.power_mw
+
+
+def evaluate_front(
+    result: GAResult,
+    test_inputs: np.ndarray,
+    test_labels: np.ndarray,
+    library: Optional[EGFETLibrary] = None,
+    voltage: float = 1.0,
+    clock_period_ms: float = 200.0,
+    max_designs: Optional[int] = None,
+) -> List[EvaluatedDesign]:
+    """Synthesize and test every member of the estimated Pareto front.
+
+    Parameters
+    ----------
+    max_designs:
+        Optional cap on how many front members to synthesize (front
+        members are taken in ascending-area order), useful in CI runs.
+    """
+    designs: List[EvaluatedDesign] = []
+    front = result.estimated_front
+    if max_designs is not None:
+        front = front[:max_designs]
+    for point in front:
+        mlp = result.decode(point)
+        accuracy = mlp.accuracy(test_inputs, test_labels)
+        report = synthesize_approximate_mlp(
+            mlp, library=library, voltage=voltage, clock_period_ms=clock_period_ms
+        )
+        designs.append(EvaluatedDesign(point=point, test_accuracy=accuracy, report=report))
+    return designs
+
+
+def true_pareto_front(designs: Sequence[EvaluatedDesign]) -> List[EvaluatedDesign]:
+    """Non-dominated designs in the (error, synthesized area) plane."""
+    kept: List[EvaluatedDesign] = []
+    for candidate in designs:
+        dominated = False
+        for other in designs:
+            if other is candidate:
+                continue
+            better_or_equal = (
+                other.test_accuracy >= candidate.test_accuracy
+                and other.area_cm2 <= candidate.area_cm2
+            )
+            strictly_better = (
+                other.test_accuracy > candidate.test_accuracy
+                or other.area_cm2 < candidate.area_cm2
+            )
+            if better_or_equal and strictly_better:
+                dominated = True
+                break
+        if not dominated:
+            kept.append(candidate)
+    return sorted(kept, key=lambda d: d.area_cm2)
+
+
+def select_design(
+    designs: Sequence[EvaluatedDesign],
+    baseline_accuracy: float,
+    max_accuracy_loss: float = 0.05,
+) -> Optional[EvaluatedDesign]:
+    """Smallest-area design within the accuracy-loss budget (Table II pick).
+
+    Falls back to the most accurate design when nothing satisfies the
+    budget (mirroring the paper's practice of always reporting a
+    circuit per dataset).
+    """
+    eligible = [
+        design
+        for design in designs
+        if design.test_accuracy >= baseline_accuracy - max_accuracy_loss
+    ]
+    if not eligible:
+        return max(designs, key=lambda d: d.test_accuracy, default=None)
+    return min(eligible, key=lambda d: d.area_cm2)

@@ -1,0 +1,49 @@
+"""Plain-text reporting helpers shared by the experiment scripts."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["reduction_factor", "format_table"]
+
+
+def reduction_factor(baseline: float, approximate: float) -> float:
+    """``baseline / approximate`` — the "x" factors of Table II and Fig. 4.
+
+    Returns ``inf`` when the approximate value is zero.
+    """
+    if baseline < 0 or approximate < 0:
+        raise ValueError("values must be non-negative")
+    if approximate == 0:
+        return float("inf")
+    return baseline / approximate
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table (markdown-ish, monospace friendly)."""
+    rows = [[_fmt(value) for value in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one entry per header")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)

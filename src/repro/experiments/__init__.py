@@ -1,0 +1,42 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+Each module regenerates one artifact:
+
+* :mod:`repro.experiments.table1` — Table I (exact bespoke baselines),
+* :mod:`repro.experiments.table2` — Table II (our approximate MLPs at
+  ≤5 % accuracy loss, with area/power reduction factors),
+* :mod:`repro.experiments.fig4`   — Fig. 4 (normalized area/power versus
+  the TC'23, TCAD'23 and DATE'21 state of the art),
+* :mod:`repro.experiments.fig5`   — Fig. 5 (printed-power-source
+  feasibility zones at 0.6 V),
+* :mod:`repro.experiments.table3` — Table III (training execution times),
+* :mod:`repro.experiments.ablation` — additional ablations of the design
+  choices (approximation modes, doping, accuracy-loss constraint).
+
+All experiments accept an :class:`~repro.experiments.config.ExperimentScale`
+so they can run at CI-friendly budgets or at paper-scale budgets.
+"""
+
+from repro.experiments.config import ExperimentScale, SCALES, get_scale
+from repro.experiments.pipeline import DatasetPipeline, PipelineResult
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.ablation import run_approximation_ablation, run_ga_settings_ablation
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+    "DatasetPipeline",
+    "PipelineResult",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_fig4",
+    "run_fig5",
+    "run_approximation_ablation",
+    "run_ga_settings_ablation",
+]

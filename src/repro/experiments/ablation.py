@@ -1,0 +1,163 @@
+"""Ablation experiments on the framework's design choices.
+
+Two studies complement the paper's evaluation (they correspond to design
+decisions the paper motivates but does not quantify separately):
+
+* **Approximation ablation** — train with (a) pow2 quantization only
+  (masks forced fully open), (b) masks only (exponents forced to zero),
+  and (c) both approximations, and compare the reachable area at the
+  5 % accuracy-loss budget.  This isolates the contribution of each
+  hardware approximation embedded in the training.
+* **GA-settings ablation** — doped vs purely random initial population
+  and with/without the 10 % accuracy-loss feasibility constraint,
+  comparing final hypervolume and best accuracy; this quantifies the
+  two convergence aids of Section IV-A.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.chromosome import GENES_PER_CONNECTION
+from repro.core.trainer import GAConfig, GATrainer
+from repro.core.pareto import hypervolume
+from repro.evaluation.report import format_table
+from repro.experiments.config import ExperimentScale
+from repro.experiments.pipeline import DatasetPipeline
+
+__all__ = [
+    "run_approximation_ablation",
+    "run_ga_settings_ablation",
+    "format_ablation",
+]
+
+
+def _freeze_masks_open(trainer: GATrainer) -> None:
+    """Restrict the search space to fully open masks (pow2-only mode)."""
+    layout = trainer.layout
+    mask_flags = layout.mask_gene_flags
+    bits = layout.mask_bits_per_gene
+    layout.lower_bounds = layout.lower_bounds.copy()
+    layout.lower_bounds[mask_flags] = (1 << bits[mask_flags]) - 1
+
+
+def _freeze_exponents_zero(trainer: GATrainer) -> None:
+    """Restrict the search space to exponent 0 (mask-only mode)."""
+    layout = trainer.layout
+    exponent_flags = np.zeros(layout.num_genes, dtype=bool)
+    for index in range(layout.num_genes):
+        kind = layout.describe_gene(index)[0]
+        if kind == "exponent":
+            exponent_flags[index] = True
+    layout.upper_bounds = layout.upper_bounds.copy()
+    layout.upper_bounds[exponent_flags] = 0
+
+
+def run_approximation_ablation(
+    pipeline: Union[DatasetPipeline, ExperimentScale, str] = "ci",
+    dataset: str = "breast_cancer",
+    max_accuracy_loss: float = 0.05,
+) -> List[Dict]:
+    """Compare pow2-only, mask-only and combined approximation modes."""
+    if not isinstance(pipeline, DatasetPipeline):
+        pipeline = DatasetPipeline(pipeline)
+    scale = pipeline.scale
+    result = pipeline.dataset(dataset)
+    x_train, y_train = result.dataset.quantized_train()
+    x_test, y_test = result.dataset.quantized_test()
+
+    modes = {
+        "pow2_only": _freeze_masks_open,
+        "masks_only": _freeze_exponents_zero,
+        "pow2_and_masks": None,
+    }
+    rows: List[Dict] = []
+    for mode, restrict in modes.items():
+        ga_config = GAConfig(
+            population_size=scale.ga_population,
+            generations=scale.ga_generations,
+            seed=scale.seed,
+        )
+        trainer = GATrainer(result.spec.mlp_topology, ga_config=ga_config)
+        if restrict is not None:
+            restrict(trainer)
+        ga_result = trainer.train(
+            x_train,
+            y_train,
+            baseline_accuracy=result.baseline.train_accuracy,
+            seed_model=result.baseline.float_model,
+        )
+        point = ga_result.select_within_accuracy_loss(max_accuracy_loss)
+        best = ga_result.best_accuracy_point()
+        rows.append(
+            {
+                "dataset": dataset,
+                "mode": mode,
+                "selected_fa_count": None if point is None else point.area,
+                "selected_accuracy": None if point is None else point.accuracy,
+                "best_accuracy": best.accuracy,
+                "front_size": len(ga_result.estimated_front),
+                "test_accuracy": (
+                    None
+                    if point is None
+                    else ga_result.decode(point).accuracy(x_test, y_test)
+                ),
+            }
+        )
+    return rows
+
+
+def run_ga_settings_ablation(
+    pipeline: Union[DatasetPipeline, ExperimentScale, str] = "ci",
+    dataset: str = "breast_cancer",
+) -> List[Dict]:
+    """Compare doped vs random init and constrained vs unconstrained GA."""
+    if not isinstance(pipeline, DatasetPipeline):
+        pipeline = DatasetPipeline(pipeline)
+    scale = pipeline.scale
+    result = pipeline.dataset(dataset)
+    x_train, y_train = result.dataset.quantized_train()
+
+    settings = [
+        ("doped+constraint", 0.10, True),
+        ("random_init", 0.0, True),
+        ("no_constraint", 0.10, False),
+    ]
+    rows: List[Dict] = []
+    for label, doping, constrained in settings:
+        ga_config = GAConfig(
+            population_size=scale.ga_population,
+            generations=scale.ga_generations,
+            doping_fraction=doping,
+            seed=scale.seed,
+        )
+        trainer = GATrainer(result.spec.mlp_topology, ga_config=ga_config)
+        ga_result = trainer.train(
+            x_train,
+            y_train,
+            baseline_accuracy=result.baseline.train_accuracy if constrained else None,
+            seed_model=result.baseline.float_model if doping > 0 else None,
+        )
+        front = ga_result.estimated_front
+        reference_area = max((p.area for p in front), default=1.0) * 1.1 + 1.0
+        rows.append(
+            {
+                "dataset": dataset,
+                "setting": label,
+                "hypervolume": hypervolume(front, (1.0, reference_area)),
+                "best_accuracy": max((p.accuracy for p in front), default=0.0),
+                "min_fa_count": min((p.area for p in front), default=float("nan")),
+                "front_size": len(front),
+            }
+        )
+    return rows
+
+
+def format_ablation(rows: List[Dict]) -> str:
+    """Render ablation rows as a text table (keys are taken from the first row)."""
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    return format_table(headers, [[row[h] for h in headers] for row in rows])

@@ -1,0 +1,94 @@
+"""Experiment scales: smoke (seconds), ci (a minute or two), full (hours).
+
+The paper's training runs evaluate tens of millions of chromosomes on a
+64-core server; the reproduction exposes the same flow at three budgets
+so that tests and benchmarks stay fast while a user with time to spare
+can launch the full-scale configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ExperimentScale", "SCALES", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Budget knobs shared by all experiments.
+
+    Attributes
+    ----------
+    name:
+        Scale identifier.
+    datasets:
+        Datasets to include (canonical names).
+    max_samples:
+        Optional cap on the per-dataset sample count.
+    gradient_epochs / gradient_restarts:
+        Budget of the float (baseline) training.
+    ga_population / ga_generations:
+        Budget of the genetic training.
+    max_front_designs:
+        How many estimated-front members to synthesize in the hardware
+        analysis step.
+    seed:
+        Global seed (dataset generation, training, GA).
+    """
+
+    name: str
+    datasets: Tuple[str, ...] = (
+        "breast_cancer",
+        "cardio",
+        "pendigits",
+        "redwine",
+        "whitewine",
+    )
+    max_samples: Optional[int] = None
+    gradient_epochs: int = 150
+    gradient_restarts: int = 3
+    ga_population: int = 60
+    ga_generations: int = 40
+    max_front_designs: Optional[int] = 40
+    seed: int = 0
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        datasets=("breast_cancer", "redwine"),
+        max_samples=300,
+        gradient_epochs=40,
+        gradient_restarts=1,
+        ga_population=24,
+        ga_generations=10,
+        max_front_designs=10,
+    ),
+    "ci": ExperimentScale(
+        name="ci",
+        max_samples=800,
+        gradient_epochs=80,
+        gradient_restarts=2,
+        ga_population=40,
+        ga_generations=25,
+        max_front_designs=20,
+    ),
+    "full": ExperimentScale(
+        name="full",
+        max_samples=None,
+        gradient_epochs=300,
+        gradient_restarts=5,
+        ga_population=120,
+        ga_generations=300,
+        max_front_designs=None,
+    ),
+}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    """Look up a scale by name."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(f"unknown scale {name!r}; available: {sorted(SCALES)}") from None

@@ -1,0 +1,120 @@
+"""Fig. 4 — normalized area and power versus the state of the art.
+
+For every dataset the experiment reports the area and power of
+
+* our GA-trained approximate MLP (Table II operating point),
+* the TC'23 post-training co-design baseline,
+* the TCAD'23 cross-approximation + voltage-over-scaling baseline,
+* the DATE'21 stochastic-computing baseline,
+
+each normalized to the exact bespoke baseline (the paper's Fig. 4 plots
+these normalized values on a log axis).  The accuracy of every design is
+reported alongside, because the stochastic baseline's gains come at a
+catastrophic accuracy cost — the paper's key qualitative point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.baselines.approx_tc23 import explore_tc23
+from repro.baselines.stochastic_date21 import StochasticConfig, StochasticMLP
+from repro.baselines.vos_tcad23 import explore_vos
+from repro.evaluation.report import format_table, reduction_factor
+from repro.experiments.config import ExperimentScale
+from repro.experiments.pipeline import DatasetPipeline
+from repro.experiments.table2 import ACCURACY_LOSS_BUDGET
+
+__all__ = ["run_fig4", "format_fig4"]
+
+
+def run_fig4(
+    pipeline: Union[DatasetPipeline, ExperimentScale, str] = "ci",
+    max_accuracy_loss: float = ACCURACY_LOSS_BUDGET,
+) -> List[Dict]:
+    """Regenerate the Fig. 4 comparison (one row per dataset and method)."""
+    if not isinstance(pipeline, DatasetPipeline):
+        pipeline = DatasetPipeline(pipeline)
+    rows: List[Dict] = []
+    for name in pipeline.scale.datasets:
+        result = pipeline.approximate(name, max_accuracy_loss=max_accuracy_loss)
+        spec = result.spec
+        baseline = result.baseline
+        base_area = baseline.report.area_cm2
+        base_power = baseline.report.power_mw
+        x_test, y_test = result.dataset.quantized_test()
+
+        def add_row(method: str, accuracy: float, area: float, power: float) -> None:
+            rows.append(
+                {
+                    "dataset": spec.name,
+                    "method": method,
+                    "accuracy": accuracy,
+                    "area_cm2": area,
+                    "power_mw": power,
+                    "norm_area": area / base_area if base_area else float("nan"),
+                    "norm_power": power / base_power if base_power else float("nan"),
+                    "area_reduction": reduction_factor(base_area, area),
+                    "power_reduction": reduction_factor(base_power, power),
+                }
+            )
+
+        # Ours (Table II operating point).
+        approx = result.approximate
+        assert approx is not None and approx.selected is not None
+        selected = approx.selected
+        add_row("ours", selected.test_accuracy, selected.area_cm2, selected.power_mw)
+
+        # TC'23 post-training approximation.
+        tc_model, tc_report, _ = explore_tc23(
+            baseline.bespoke,
+            x_test,
+            y_test,
+            baseline_accuracy=baseline.test_accuracy,
+            max_accuracy_loss=max_accuracy_loss,
+            clock_period_ms=spec.clock_period_ms,
+        )
+        if tc_model is not None and tc_report is not None:
+            add_row("tc23", tc_model.accuracy(x_test, y_test), tc_report.area_cm2, tc_report.power_mw)
+
+        # TCAD'23 cross-approximation + VOS.
+        vos_model, vos_report, _ = explore_vos(
+            baseline.bespoke,
+            x_test,
+            y_test,
+            baseline_accuracy=baseline.test_accuracy,
+            max_accuracy_loss=max_accuracy_loss,
+            clock_period_ms=spec.clock_period_ms,
+            seed=pipeline.scale.seed,
+        )
+        if vos_model is not None and vos_report is not None:
+            add_row(
+                "tcad23", vos_model.accuracy(x_test, y_test), vos_report.area_cm2, vos_report.power_mw
+            )
+
+        # DATE'21 stochastic computing.
+        stochastic = StochasticMLP(
+            model=baseline.float_model, config=StochasticConfig(seed=pipeline.scale.seed)
+        )
+        sc_report = stochastic.synthesize()
+        sc_accuracy = stochastic.accuracy(result.dataset.test.features, y_test)
+        add_row("date21", sc_accuracy, sc_report.area_cm2, sc_report.power_mw)
+    return rows
+
+
+def format_fig4(rows: List[Dict]) -> str:
+    """Render the Fig. 4 data as a text table."""
+    headers = ["MLP", "Method", "Acc", "Norm. Area", "Norm. Power", "Area Red.", "Power Red."]
+    table_rows = [
+        [
+            row["dataset"],
+            row["method"],
+            row["accuracy"],
+            row["norm_area"],
+            row["norm_power"],
+            row["area_reduction"],
+            row["power_reduction"],
+        ]
+        for row in rows
+    ]
+    return format_table(headers, table_rows)

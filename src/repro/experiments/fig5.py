@@ -1,0 +1,97 @@
+"""Fig. 5 — printed-power-source feasibility at the 0.6 V supply.
+
+The paper drops the supply of its approximate MLPs to the minimum EGFET
+voltage (0.6 V) — possible because the approximate circuits are faster
+than the baseline and can absorb the voltage-scaling slowdown — and then
+classifies every circuit by the smallest printed power source able to
+drive it (energy harvester / Blue Spark 5 mW / Zinergy 15 mW / Molex
+30 mW / none) and by whether its area is sustainable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.baselines.approx_tc23 import explore_tc23
+from repro.evaluation.feasibility import assess_feasibility
+from repro.evaluation.report import format_table
+from repro.experiments.config import ExperimentScale
+from repro.experiments.pipeline import DatasetPipeline
+from repro.experiments.table2 import ACCURACY_LOSS_BUDGET
+from repro.hardware.egfet import MIN_VOLTAGE
+
+__all__ = ["run_fig5", "format_fig5"]
+
+
+def run_fig5(
+    pipeline: Union[DatasetPipeline, ExperimentScale, str] = "ci",
+    max_accuracy_loss: float = ACCURACY_LOSS_BUDGET,
+    approximate_voltage: float = MIN_VOLTAGE,
+) -> List[Dict]:
+    """Regenerate the Fig. 5 feasibility study.
+
+    Returns one row per (dataset, design) with the assigned zone.  The
+    baseline and the TC'23 design are assessed at the nominal 1 V (they
+    cannot tolerate voltage scaling without missing their timing), our
+    design additionally at ``approximate_voltage``.
+    """
+    if not isinstance(pipeline, DatasetPipeline):
+        pipeline = DatasetPipeline(pipeline)
+    rows: List[Dict] = []
+    for name in pipeline.scale.datasets:
+        result = pipeline.approximate(name, max_accuracy_loss=max_accuracy_loss)
+        spec = result.spec
+        baseline = result.baseline
+        x_test, y_test = result.dataset.quantized_test()
+
+        entries = []
+        entries.append(("baseline_micro20", baseline.report, 1.0))
+
+        tc_model, tc_report, _ = explore_tc23(
+            baseline.bespoke,
+            x_test,
+            y_test,
+            baseline_accuracy=baseline.test_accuracy,
+            max_accuracy_loss=max_accuracy_loss,
+            clock_period_ms=spec.clock_period_ms,
+        )
+        if tc_report is not None:
+            entries.append(("tc23", tc_report, 1.0))
+
+        approx = result.approximate
+        assert approx is not None and approx.selected is not None
+        entries.append(("ours", approx.selected.report, 1.0))
+        entries.append(("ours_0v6", approx.selected.report, approximate_voltage))
+
+        for design_name, report, voltage in entries:
+            feasibility = assess_feasibility(report, design_name=design_name, voltage=voltage)
+            rows.append(
+                {
+                    "dataset": spec.name,
+                    "design": design_name,
+                    "voltage": feasibility.voltage,
+                    "area_cm2": feasibility.area_cm2,
+                    "power_mw": feasibility.power_mw,
+                    "zone": feasibility.label,
+                    "feasible": feasibility.zone.feasible,
+                    "self_powered": feasibility.self_powered,
+                }
+            )
+    return rows
+
+
+def format_fig5(rows: List[Dict]) -> str:
+    """Render the Fig. 5 data as a text table."""
+    headers = ["MLP", "Design", "V", "Area(cm2)", "Power(mW)", "Zone"]
+    table_rows = [
+        [
+            row["dataset"],
+            row["design"],
+            row["voltage"],
+            row["area_cm2"],
+            row["power_mw"],
+            row["zone"],
+        ]
+        for row in rows
+    ]
+    return format_table(headers, table_rows)

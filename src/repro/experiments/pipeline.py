@@ -1,0 +1,172 @@
+"""Shared per-dataset pipeline used by every experiment.
+
+For one dataset the pipeline runs (and caches) the stages of Fig. 2:
+
+1. dataset generation, normalization, stratified split, quantization;
+2. exact baseline: gradient training + post-training quantization +
+   hardware analysis (Table I);
+3. genetic hardware-aware training (the framework) + hardware analysis
+   of the estimated Pareto front + Table II operating-point selection.
+
+Experiments compose these cached stages so that, e.g., Fig. 4 and
+Fig. 5 do not re-train what Table II already trained.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.exact_bespoke import BespokeMLP, train_exact_baseline
+from repro.baselines.gradient import FloatMLP, GradientTrainer
+from repro.core.trainer import GAConfig, GAResult, GATrainer
+from repro.datasets.dataset import Dataset
+from repro.datasets.registry import DatasetSpec, get_spec, load_dataset
+from repro.evaluation.pareto_analysis import (
+    EvaluatedDesign,
+    evaluate_front,
+    select_design,
+    true_pareto_front,
+)
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.hardware.synthesis import HardwareReport
+
+__all__ = ["BaselineResult", "ApproximateResult", "PipelineResult", "DatasetPipeline"]
+
+
+@dataclass
+class BaselineResult:
+    """Exact bespoke baseline for one dataset."""
+
+    bespoke: BespokeMLP
+    float_model: FloatMLP
+    test_accuracy: float
+    train_accuracy: float
+    report: HardwareReport
+    training_seconds: float
+
+
+@dataclass
+class ApproximateResult:
+    """Our genetically trained approximate MLP for one dataset."""
+
+    ga_result: GAResult
+    designs: List[EvaluatedDesign]
+    selected: Optional[EvaluatedDesign]
+    training_seconds: float
+
+    @property
+    def true_front(self) -> List[EvaluatedDesign]:
+        """Non-dominated designs after hardware analysis."""
+        return true_pareto_front(self.designs)
+
+
+@dataclass
+class PipelineResult:
+    """Everything the experiments need for one dataset."""
+
+    spec: DatasetSpec
+    dataset: Dataset
+    baseline: BaselineResult
+    approximate: Optional[ApproximateResult] = None
+
+
+class DatasetPipeline:
+    """Runs and caches the per-dataset stages at a given experiment scale."""
+
+    def __init__(self, scale: ExperimentScale | str = "ci") -> None:
+        self.scale = get_scale(scale) if isinstance(scale, str) else scale
+        self._cache: Dict[str, PipelineResult] = {}
+
+    # ------------------------------------------------------------------
+    def dataset(self, name: str) -> PipelineResult:
+        """Dataset + exact baseline (cached)."""
+        if name not in self._cache:
+            self._cache[name] = self._build_baseline(name)
+        return self._cache[name]
+
+    def approximate(self, name: str, max_accuracy_loss: float = 0.05) -> PipelineResult:
+        """Dataset + baseline + genetic training result (cached)."""
+        result = self.dataset(name)
+        if result.approximate is None:
+            result.approximate = self._train_approximate(result, max_accuracy_loss)
+        return result
+
+    def results(self, approximate: bool = False) -> List[PipelineResult]:
+        """Run the pipeline on every dataset of the scale."""
+        names = list(self.scale.datasets)
+        if approximate:
+            return [self.approximate(name) for name in names]
+        return [self.dataset(name) for name in names]
+
+    # ------------------------------------------------------------------
+    def _build_baseline(self, name: str) -> PipelineResult:
+        spec = get_spec(name)
+        dataset = load_dataset(name, seed=self.scale.seed, num_samples=self.scale.max_samples)
+        trainer = GradientTrainer(
+            epochs=self.scale.gradient_epochs,
+            restarts=self.scale.gradient_restarts,
+            seed=self.scale.seed,
+        )
+        start = time.perf_counter()
+        bespoke, float_model = train_exact_baseline(
+            dataset.train.features, dataset.train.labels, spec.mlp_topology, trainer=trainer
+        )
+        elapsed = time.perf_counter() - start
+        x_train, y_train = dataset.quantized_train()
+        x_test, y_test = dataset.quantized_test()
+        report = bespoke.synthesize(clock_period_ms=spec.clock_period_ms)
+        baseline = BaselineResult(
+            bespoke=bespoke,
+            float_model=float_model,
+            test_accuracy=bespoke.accuracy(x_test, y_test),
+            train_accuracy=bespoke.accuracy(x_train, y_train),
+            report=report,
+            training_seconds=elapsed,
+        )
+        return PipelineResult(spec=spec, dataset=dataset, baseline=baseline)
+
+    def _train_approximate(
+        self, result: PipelineResult, max_accuracy_loss: float
+    ) -> ApproximateResult:
+        spec = result.spec
+        dataset = result.dataset
+        x_train, y_train = dataset.quantized_train()
+        x_test, y_test = dataset.quantized_test()
+
+        ga_config = GAConfig(
+            population_size=self.scale.ga_population,
+            generations=self.scale.ga_generations,
+            seed=self.scale.seed,
+        )
+        trainer = GATrainer(spec.mlp_topology, ga_config=ga_config)
+        start = time.perf_counter()
+        ga_result = trainer.train(
+            x_train,
+            y_train,
+            baseline_accuracy=result.baseline.train_accuracy,
+            seed_model=result.baseline.float_model,
+        )
+        elapsed = time.perf_counter() - start
+
+        designs = evaluate_front(
+            ga_result,
+            x_test,
+            y_test,
+            clock_period_ms=spec.clock_period_ms,
+            max_designs=self.scale.max_front_designs,
+        )
+        selected = select_design(
+            designs,
+            baseline_accuracy=result.baseline.test_accuracy,
+            max_accuracy_loss=max_accuracy_loss,
+        )
+        return ApproximateResult(
+            ga_result=ga_result,
+            designs=designs,
+            selected=selected,
+            training_seconds=elapsed,
+        )

@@ -1,0 +1,73 @@
+"""Command-line entry point that regenerates the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments.runner --experiment table2 --scale ci
+    python -m repro.experiments.runner --experiment all --scale smoke
+
+Every experiment prints a plain-text table mirroring the corresponding
+artifact of the paper (Table I/II/III, Fig. 4/5) plus the ablations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments.ablation import (
+    format_ablation,
+    run_approximation_ablation,
+    run_ga_settings_ablation,
+)
+from repro.experiments.config import SCALES
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.pipeline import DatasetPipeline
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: Experiment name -> (runner, formatter).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": (run_table1, format_table1),
+    "table2": (run_table2, format_table2),
+    "table3": (run_table3, format_table3),
+    "fig4": (run_fig4, format_fig4),
+    "fig5": (run_fig5, format_fig5),
+    "ablation_approx": (run_approximation_ablation, format_ablation),
+    "ablation_ga": (run_ga_settings_ablation, format_ablation),
+}
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Run one (or all) experiments and print the resulting tables."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--experiment",
+        default="all",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="ci",
+        choices=sorted(SCALES),
+        help="evaluation budget (smoke/ci/full)",
+    )
+    args = parser.parse_args(argv)
+
+    pipeline = DatasetPipeline(args.scale)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner, formatter = EXPERIMENTS[name]
+        print(f"\n=== {name} (scale={args.scale}) ===")
+        rows = runner(pipeline)
+        print(formatter(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Table I — evaluation of the exact bespoke baseline printed MLPs.
+
+For every dataset the experiment reports the MLP topology, parameter
+count, test accuracy and synthesized area/power of the exact bespoke
+design (8-bit fixed-point weights, 4-bit inputs), alongside the values
+the paper reports for reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.evaluation.report import format_table
+from repro.experiments.config import ExperimentScale
+from repro.experiments.pipeline import DatasetPipeline
+
+__all__ = ["run_table1", "format_table1"]
+
+
+def run_table1(
+    pipeline: Union[DatasetPipeline, ExperimentScale, str] = "ci",
+) -> List[Dict]:
+    """Regenerate Table I.
+
+    Returns one row per dataset with measured and paper-reported values.
+    """
+    if not isinstance(pipeline, DatasetPipeline):
+        pipeline = DatasetPipeline(pipeline)
+    rows: List[Dict] = []
+    for result in pipeline.results(approximate=False):
+        spec = result.spec
+        baseline = result.baseline
+        rows.append(
+            {
+                "dataset": spec.name,
+                "topology": str(spec.mlp_topology),
+                "parameters": spec.mlp_topology.num_parameters,
+                "accuracy": baseline.test_accuracy,
+                "area_cm2": baseline.report.area_cm2,
+                "power_mw": baseline.report.power_mw,
+                "paper_accuracy": spec.paper_accuracy,
+                "paper_area_cm2": spec.paper_area_cm2,
+                "paper_power_mw": spec.paper_power_mw,
+            }
+        )
+    return rows
+
+
+def format_table1(rows: List[Dict]) -> str:
+    """Render Table I rows as a text table."""
+    headers = [
+        "MLP",
+        "Topology",
+        "Params",
+        "Acc",
+        "Area(cm2)",
+        "Power(mW)",
+        "Paper Acc",
+        "Paper Area",
+        "Paper Power",
+    ]
+    table_rows = [
+        [
+            row["dataset"],
+            row["topology"],
+            row["parameters"],
+            row["accuracy"],
+            row["area_cm2"],
+            row["power_mw"],
+            row["paper_accuracy"],
+            row["paper_area_cm2"],
+            row["paper_power_mw"],
+        ]
+        for row in rows
+    ]
+    return format_table(headers, table_rows)

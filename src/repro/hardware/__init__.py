@@ -1,0 +1,82 @@
+"""Hardware substrate: printed-technology cost models, netlists and synthesis.
+
+This subpackage replaces the commercial EDA flow of the paper (Synopsys
+Design Compiler / PrimeTime mapped to a printed EGFET library) with an
+analytical but structurally faithful model:
+
+* :mod:`repro.hardware.adder_tree` — the paper's high-level Full-Adder
+  counting area estimator for multi-operand adder trees (equation (2)).
+* :mod:`repro.hardware.egfet` — a printed EGFET cell library (area,
+  power, delay per cell) plus a supply-voltage scaling model.
+* :mod:`repro.hardware.area` / :mod:`repro.hardware.power` — bespoke
+  area and power models for exact and approximate printed MLPs.
+* :mod:`repro.hardware.synthesis` — the "hardware analysis" step of the
+  framework: turns an MLP (exact or approximate) into a
+  :class:`~repro.hardware.synthesis.HardwareReport`.
+* :mod:`repro.hardware.gates` / :mod:`repro.hardware.netlist` /
+  :mod:`repro.hardware.simulator` — gate-level netlist generation and
+  logic simulation used to verify that the generated circuits compute
+  exactly what the Python model computes.
+* :mod:`repro.hardware.power_sources` — printed batteries and energy
+  harvesters used for the feasibility study (Fig. 5).
+"""
+
+from repro.hardware.adder_tree import (
+    AdderTreeCost,
+    count_adders_from_columns,
+    approximate_neuron_columns,
+    neuron_adder_cost,
+    layer_adder_cost,
+    mlp_fa_count,
+    mlp_adder_cost,
+)
+from repro.hardware.egfet import EGFETLibrary, CellSpec, default_egfet_library
+from repro.hardware.area import (
+    csd_encode,
+    csd_nonzero_digits,
+    constant_multiplier_columns,
+    exact_neuron_columns,
+    exact_neuron_adder_cost,
+)
+from repro.hardware.synthesis import (
+    HardwareReport,
+    synthesize_approximate_mlp,
+    synthesize_exact_mlp,
+)
+from repro.hardware.power_sources import (
+    PowerSource,
+    PRINTED_POWER_SOURCES,
+    classify_power_source,
+)
+from repro.hardware.fast_area import fast_mlp_fa_count
+from repro.hardware.netlist import Netlist, build_neuron_netlist
+from repro.hardware.simulator import simulate, verify_neuron_netlist
+
+__all__ = [
+    "AdderTreeCost",
+    "count_adders_from_columns",
+    "approximate_neuron_columns",
+    "neuron_adder_cost",
+    "layer_adder_cost",
+    "mlp_fa_count",
+    "mlp_adder_cost",
+    "EGFETLibrary",
+    "CellSpec",
+    "default_egfet_library",
+    "csd_encode",
+    "csd_nonzero_digits",
+    "constant_multiplier_columns",
+    "exact_neuron_columns",
+    "exact_neuron_adder_cost",
+    "HardwareReport",
+    "synthesize_approximate_mlp",
+    "synthesize_exact_mlp",
+    "PowerSource",
+    "PRINTED_POWER_SOURCES",
+    "classify_power_source",
+    "fast_mlp_fa_count",
+    "Netlist",
+    "build_neuron_netlist",
+    "simulate",
+    "verify_neuron_netlist",
+]

@@ -1,0 +1,97 @@
+"""Gate primitives for the gate-level netlist model.
+
+The netlist generator (:mod:`repro.hardware.netlist`) builds bespoke
+adder trees out of these primitives, and the logic simulator
+(:mod:`repro.hardware.simulator`) evaluates them to verify that the
+generated circuit computes exactly what the Python inference model
+computes — the reproduction's substitute for the paper's VCS simulation
+step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+__all__ = ["GateType", "GATE_FUNCTIONS", "Gate", "gate_output_count"]
+
+
+#: Supported gate types and their boolean functions.
+#: Full/Half adders are modelled as multi-output gates.
+GATE_FUNCTIONS: Dict[str, Callable[..., Tuple[int, ...]]] = {
+    "NOT": lambda a: (1 - a,),
+    "BUF": lambda a: (a,),
+    "AND2": lambda a, b: (a & b,),
+    "OR2": lambda a, b: (a | b,),
+    "NAND2": lambda a, b: (1 - (a & b),),
+    "NOR2": lambda a, b: (1 - (a | b),),
+    "XOR2": lambda a, b: (a ^ b,),
+    "XNOR2": lambda a, b: (1 - (a ^ b),),
+    "MUX2": lambda a, b, sel: (b if sel else a,),
+    # Half adder: (sum, carry).
+    "HA": lambda a, b: (a ^ b, a & b),
+    # Full adder: (sum, carry).
+    "FA": lambda a, b, c: (a ^ b ^ c, (a & b) | (a & c) | (b & c)),
+    # Constant generators.
+    "CONST0": lambda: (0,),
+    "CONST1": lambda: (1,),
+}
+
+#: Number of inputs expected by each gate type.
+GATE_INPUT_COUNTS: Dict[str, int] = {
+    "NOT": 1,
+    "BUF": 1,
+    "AND2": 2,
+    "OR2": 2,
+    "NAND2": 2,
+    "NOR2": 2,
+    "XOR2": 2,
+    "XNOR2": 2,
+    "MUX2": 3,
+    "HA": 2,
+    "FA": 3,
+    "CONST0": 0,
+    "CONST1": 0,
+}
+
+
+def gate_output_count(gate_type: str) -> int:
+    """Number of output nets driven by a gate of ``gate_type``."""
+    if gate_type in ("HA", "FA"):
+        return 2
+    if gate_type not in GATE_FUNCTIONS:
+        raise KeyError(f"unknown gate type {gate_type!r}")
+    return 1
+
+
+GateType = str
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance: type, input net ids, output net ids."""
+
+    gate_type: GateType
+    inputs: Tuple[int, ...]
+    outputs: Tuple[int, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.gate_type not in GATE_FUNCTIONS:
+            raise ValueError(f"unknown gate type {self.gate_type!r}")
+        expected_inputs = GATE_INPUT_COUNTS[self.gate_type]
+        if len(self.inputs) != expected_inputs:
+            raise ValueError(
+                f"{self.gate_type} expects {expected_inputs} inputs, got {len(self.inputs)}"
+            )
+        expected_outputs = gate_output_count(self.gate_type)
+        if len(self.outputs) != expected_outputs:
+            raise ValueError(
+                f"{self.gate_type} drives {expected_outputs} outputs, got {len(self.outputs)}"
+            )
+
+    def evaluate(self, values: Dict[int, int]) -> Dict[int, int]:
+        """Evaluate the gate given current net values; returns driven nets."""
+        args = [values[i] for i in self.inputs]
+        results = GATE_FUNCTIONS[self.gate_type](*args)
+        return {net: int(val) for net, val in zip(self.outputs, results)}

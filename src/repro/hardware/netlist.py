@@ -1,0 +1,216 @@
+"""Gate-level netlist construction for approximate bespoke neurons.
+
+The netlist builder takes an :class:`~repro.approx.neuron.ApproximateNeuron`
+and produces the same structure the paper's HDL generation step emits:
+
+* the mask-retained input bits, each shifted left by the connection's
+  power-of-two exponent, become the rows of a multi-operand addition;
+* negative-sign rows are inverted bit-wise (NOT gates) and their
+  two's-complement ``+1`` corrections are folded, together with the
+  neuron's bias, into one hard-wired constant row;
+* the rows are reduced with full/half adders (3:2 and 2:2 counters) down
+  to two rows, which a ripple-carry adder then sums.
+
+The resulting :class:`Netlist` can be simulated with
+:mod:`repro.hardware.simulator` and is the structural reference the
+Verilog generator mirrors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.approx.neuron import ApproximateNeuron
+from repro.hardware.gates import Gate
+
+__all__ = ["Netlist", "build_neuron_netlist"]
+
+
+@dataclass
+class Netlist:
+    """A combinational gate-level netlist.
+
+    Nets are integers; ``input_bits[name]`` lists the nets of each
+    primary input bus (LSB first) and ``output_bits`` the nets of the
+    result bus (LSB first, two's complement).
+    """
+
+    gates: List[Gate] = field(default_factory=list)
+    input_bits: Dict[str, List[int]] = field(default_factory=dict)
+    output_bits: List[int] = field(default_factory=list)
+    constants: Dict[int, int] = field(default_factory=dict)
+    _next_net: int = 0
+
+    def new_net(self) -> int:
+        """Allocate a fresh net id."""
+        net = self._next_net
+        self._next_net += 1
+        return net
+
+    def add_gate(self, gate_type: str, inputs: Tuple[int, ...], name: str = "") -> List[int]:
+        """Instantiate a gate; returns its freshly allocated output nets."""
+        from repro.hardware.gates import gate_output_count
+
+        outputs = tuple(self.new_net() for _ in range(gate_output_count(gate_type)))
+        self.gates.append(Gate(gate_type=gate_type, inputs=inputs, outputs=outputs, name=name))
+        return list(outputs)
+
+    def add_constant(self, value: int) -> int:
+        """Net tied to a constant 0 or 1."""
+        if value not in (0, 1):
+            raise ValueError(f"constant must be 0 or 1, got {value}")
+        net = self.new_net()
+        self.constants[net] = value
+        return net
+
+    def add_input_bus(self, name: str, width: int) -> List[int]:
+        """Declare a primary input bus of ``width`` bits (LSB first)."""
+        if name in self.input_bits:
+            raise ValueError(f"input bus {name!r} already exists")
+        nets = [self.new_net() for _ in range(width)]
+        self.input_bits[name] = nets
+        return nets
+
+    def cell_counts(self) -> Dict[str, int]:
+        """Number of instances per gate type."""
+        counts: Dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.gate_type] = counts.get(gate.gate_type, 0) + 1
+        return counts
+
+    @property
+    def num_gates(self) -> int:
+        """Total number of gate instances."""
+        return len(self.gates)
+
+
+def _reduce_columns(
+    netlist: Netlist, columns: List[List[int]], use_half_adders: bool = True
+) -> List[List[int]]:
+    """One 3:2 / 2:2 reduction pass over the columns (Wallace-style)."""
+    next_columns: List[List[int]] = [[] for _ in range(len(columns) + 1)]
+    for position, column in enumerate(columns):
+        bits = list(column)
+        while len(bits) >= 3:
+            a, b, c = bits.pop(), bits.pop(), bits.pop()
+            s, carry = netlist.add_gate("FA", (a, b, c), name=f"fa_c{position}")
+            next_columns[position].append(s)
+            next_columns[position + 1].append(carry)
+        if use_half_adders and len(bits) == 2 and column is not columns[-1]:
+            a, b = bits.pop(), bits.pop()
+            s, carry = netlist.add_gate("HA", (a, b), name=f"ha_c{position}")
+            next_columns[position].append(s)
+            next_columns[position + 1].append(carry)
+        next_columns[position].extend(bits)
+    while next_columns and not next_columns[-1]:
+        next_columns.pop()
+    return next_columns
+
+
+def _ripple_carry_sum(netlist: Netlist, columns: List[List[int]]) -> List[int]:
+    """Final two-row addition with a ripple-carry adder; returns sum bits."""
+    result: List[int] = []
+    carry: Optional[int] = None
+    for position, column in enumerate(columns):
+        bits = list(column)
+        if carry is not None:
+            bits.append(carry)
+        if not bits:
+            result.append(netlist.add_constant(0))
+            carry = None
+        elif len(bits) == 1:
+            result.append(bits[0])
+            carry = None
+        elif len(bits) == 2:
+            s, carry = netlist.add_gate("HA", (bits[0], bits[1]), name=f"cpa_ha_{position}")
+            result.append(s)
+        else:
+            s, carry = netlist.add_gate("FA", (bits[0], bits[1], bits[2]), name=f"cpa_fa_{position}")
+            result.append(s)
+    if carry is not None:
+        result.append(carry)
+    return result
+
+
+def build_neuron_netlist(
+    neuron: ApproximateNeuron, output_width: Optional[int] = None
+) -> Netlist:
+    """Build the adder-tree netlist of one approximate neuron.
+
+    The netlist computes the neuron's accumulator
+    ``sum_i s_i * ((x_i & m_i) << k_i) + bias`` in two's complement over
+    ``output_width`` bits (wide enough for the worst case by default).
+
+    Negative-sign summands are realized exactly as the paper describes:
+    the retained bits are inverted with NOT gates, and all the '+1'
+    corrections plus the sign-extension constants are folded, together
+    with the bias, into a single hard-wired constant row.
+    """
+    netlist = Netlist()
+
+    # Determine the two's-complement width needed.
+    max_pos = neuron.max_accumulator()
+    min_neg = neuron.min_accumulator()
+    span = max(abs(max_pos), abs(min_neg), 1)
+    width = output_width or (int(span).bit_length() + 2)
+    modulus = 1 << width
+
+    columns: List[List[int]] = [[] for _ in range(width)]
+    constant_row = 0
+
+    input_buses: List[List[int]] = []
+    for i in range(neuron.fan_in):
+        input_buses.append(netlist.add_input_bus(f"x{i}", neuron.input_bits))
+
+    for i in range(neuron.fan_in):
+        mask = int(neuron.masks[i])
+        sign = int(neuron.signs[i])
+        exponent = int(neuron.exponents[i])
+        if mask == 0:
+            continue
+        if sign > 0:
+            for bit in range(neuron.input_bits):
+                if not (mask >> bit) & 1:
+                    continue
+                column = bit + exponent
+                if column < width:
+                    columns[column].append(input_buses[i][bit])
+        else:
+            # -(v) = (~v) + 1 in two's complement over `width` bits, where v
+            # is the shifted, masked summand.  ~v = (modulus - 1) - v; the
+            # masked-off and out-of-range positions of ~v are constant 1s.
+            for bit in range(neuron.input_bits):
+                column = bit + exponent
+                if column >= width:
+                    continue
+                if (mask >> bit) & 1:
+                    inverted = netlist.add_gate("NOT", (input_buses[i][bit],), name=f"inv_{i}_{bit}")[0]
+                    columns[column].append(inverted)
+                else:
+                    constant_row += 1 << column
+            # Positions outside the shifted input window are 1 in ~v.
+            for column in range(width):
+                if exponent <= column < exponent + neuron.input_bits:
+                    continue
+                constant_row += 1 << column
+            constant_row += 1  # the +1 of the two's complement
+
+    constant_row += int(neuron.bias) % modulus
+    constant_row %= modulus
+    for bit in range(width):
+        if (constant_row >> bit) & 1:
+            columns[bit].append(netlist.add_constant(1))
+
+    # Wallace-style reduction down to at most two bits per column.
+    while any(len(column) > 2 for column in columns):
+        columns = _reduce_columns(netlist, columns)
+        if len(columns) > width:
+            columns = columns[:width]  # wrap-around beyond the modulus
+
+    sum_bits = _ripple_carry_sum(netlist, columns)
+    netlist.output_bits = sum_bits[:width]
+    # Pad if the CPA produced fewer bits than the declared width.
+    while len(netlist.output_bits) < width:
+        netlist.output_bits.append(netlist.add_constant(0))
+    return netlist

@@ -1,0 +1,102 @@
+"""Logic simulation of gate-level netlists.
+
+Replaces the paper's VCS simulation step: the generated netlist of an
+approximate neuron is evaluated on concrete input vectors and the result
+is compared against the integer Python model (see the verification tests
+in ``tests/hardware/test_netlist_simulation.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.approx.neuron import ApproximateNeuron
+from repro.hardware.netlist import Netlist, build_neuron_netlist
+
+__all__ = ["simulate", "simulate_neuron_netlist", "verify_neuron_netlist"]
+
+
+def simulate(netlist: Netlist, input_values: Dict[str, int]) -> int:
+    """Evaluate a netlist on one input assignment.
+
+    Parameters
+    ----------
+    netlist:
+        The combinational netlist (gates in topological order, which is
+        how :mod:`repro.hardware.netlist` constructs them).
+    input_values:
+        Mapping from input bus name to its unsigned integer value.
+
+    Returns
+    -------
+    The output bus value interpreted as a two's-complement signed integer.
+    """
+    values: Dict[int, int] = dict(netlist.constants)
+    for name, nets in netlist.input_bits.items():
+        if name not in input_values:
+            raise KeyError(f"missing value for input bus {name!r}")
+        value = int(input_values[name])
+        if value < 0 or value >= (1 << len(nets)):
+            raise ValueError(
+                f"value {value} does not fit in the {len(nets)}-bit bus {name!r}"
+            )
+        for bit, net in enumerate(nets):
+            values[net] = (value >> bit) & 1
+
+    for gate in netlist.gates:
+        missing = [net for net in gate.inputs if net not in values]
+        if missing:
+            raise RuntimeError(
+                f"gate {gate.name or gate.gate_type} reads undriven nets {missing}"
+            )
+        values.update(gate.evaluate(values))
+
+    width = len(netlist.output_bits)
+    unsigned = 0
+    for bit, net in enumerate(netlist.output_bits):
+        unsigned |= (values[net] & 1) << bit
+    # Two's-complement interpretation.
+    if unsigned >= (1 << (width - 1)):
+        return unsigned - (1 << width)
+    return unsigned
+
+
+def simulate_neuron_netlist(
+    neuron: ApproximateNeuron, inputs: Sequence[Sequence[int]]
+) -> List[int]:
+    """Simulate a neuron's netlist over a batch of input vectors."""
+    netlist = build_neuron_netlist(neuron)
+    results: List[int] = []
+    for vector in inputs:
+        assignment = {f"x{i}": int(v) for i, v in enumerate(vector)}
+        results.append(simulate(netlist, assignment))
+    return results
+
+
+def verify_neuron_netlist(
+    neuron: ApproximateNeuron,
+    inputs: Iterable[Sequence[int]] | None = None,
+    rng: np.random.Generator | None = None,
+    num_vectors: int = 32,
+) -> bool:
+    """Check that the netlist matches the Python accumulator model.
+
+    When ``inputs`` is omitted, ``num_vectors`` random vectors are drawn.
+    Returns True when every vector matches; raises ``AssertionError``
+    with a counterexample otherwise.
+    """
+    rng = rng or np.random.default_rng(0)
+    if inputs is None:
+        high = 1 << neuron.input_bits
+        inputs = rng.integers(0, high, size=(num_vectors, neuron.fan_in)).tolist()
+    inputs = [list(map(int, vector)) for vector in inputs]
+    simulated = simulate_neuron_netlist(neuron, inputs)
+    expected = [int(neuron.accumulate(np.array(vector))) for vector in inputs]
+    for vector, got, want in zip(inputs, simulated, expected):
+        if got != want:
+            raise AssertionError(
+                f"netlist mismatch for inputs {vector}: netlist={got}, model={want}"
+            )
+    return True

@@ -1,0 +1,118 @@
+"""Signed and unsigned fixed-point number formats.
+
+The exact bespoke printed MLPs of Mubarik et al. (MICRO'20), which form
+the baseline of the paper, hardwire every coefficient as an 8-bit
+fixed-point constant and feed 4-bit quantized inputs.  This module
+implements the fixed-point formats needed to reproduce that baseline and
+to reason about bit-widths of intermediate values (products,
+accumulations) in the hardware cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedPointFormat", "quantize_fixed", "dequantize_fixed"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A fixed-point format ``Q(integer_bits, frac_bits)``.
+
+    Parameters
+    ----------
+    total_bits:
+        Total number of bits, including the sign bit when ``signed``.
+    frac_bits:
+        Number of fractional bits.  The represented value of the integer
+        code ``q`` is ``q * 2**-frac_bits``.
+    signed:
+        Whether the format is two's-complement signed.
+    """
+
+    total_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_bits <= 0:
+            raise ValueError(f"total_bits must be positive, got {self.total_bits}")
+        if self.frac_bits < 0:
+            raise ValueError(f"frac_bits must be non-negative, got {self.frac_bits}")
+        if self.frac_bits > self.total_bits:
+            raise ValueError(
+                f"frac_bits ({self.frac_bits}) cannot exceed total_bits ({self.total_bits})"
+            )
+
+    @property
+    def integer_bits(self) -> int:
+        """Number of integer (non-fractional, non-sign) bits."""
+        return self.total_bits - self.frac_bits - (1 if self.signed else 0)
+
+    @property
+    def scale(self) -> float:
+        """The value of one least-significant bit."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def min_code(self) -> int:
+        """Smallest representable integer code."""
+        return -(1 << (self.total_bits - 1)) if self.signed else 0
+
+    @property
+    def max_code(self) -> int:
+        """Largest representable integer code."""
+        if self.signed:
+            return (1 << (self.total_bits - 1)) - 1
+        return (1 << self.total_bits) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_code * self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_code * self.scale
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Quantize real ``values`` to integer codes of this format.
+
+        Values are rounded to the nearest code and saturated at the
+        format limits (no wrap-around), which matches the behaviour of
+        the post-training quantization used for the bespoke baseline.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        codes = np.round(values / self.scale)
+        codes = np.clip(codes, self.min_code, self.max_code)
+        return codes.astype(np.int64)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Convert integer codes back to real values."""
+        return np.asarray(codes, dtype=np.float64) * self.scale
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        """Quantize then dequantize (``values`` projected on the grid)."""
+        return self.dequantize(self.quantize(values))
+
+    def representable(self, codes: np.ndarray) -> np.ndarray:
+        """Boolean mask of codes that lie within the format's range."""
+        codes = np.asarray(codes)
+        return (codes >= self.min_code) & (codes <= self.max_code)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "s" if self.signed else "u"
+        return f"Q{kind}{self.total_bits}.{self.frac_bits}"
+
+
+def quantize_fixed(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Functional form of :meth:`FixedPointFormat.quantize`."""
+    return fmt.quantize(values)
+
+
+def dequantize_fixed(codes: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Functional form of :meth:`FixedPointFormat.dequantize`."""
+    return fmt.dequantize(codes)

@@ -1,0 +1,142 @@
+"""Uniform quantizers for MLP inputs and coefficients.
+
+The printed-MLP design flow quantizes the normalized ``[0, 1]`` input
+features to 4-bit unsigned integers and the trained floating-point
+weights to 8-bit signed fixed point (the bespoke baseline) or to
+power-of-two values (our approximate MLPs, see :mod:`repro.approx.pow2`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.fixed_point import FixedPointFormat
+
+__all__ = [
+    "UniformQuantizer",
+    "InputQuantizer",
+    "quantize_inputs",
+    "quantize_weights_fixed",
+    "DEFAULT_INPUT_BITS",
+    "DEFAULT_WEIGHT_BITS",
+    "DEFAULT_ACTIVATION_BITS",
+]
+
+#: Bit-width of the primary MLP inputs (paper Section III-B: "4 bits for
+#: the inputs").
+DEFAULT_INPUT_BITS = 4
+
+#: Bit-width of the bespoke-baseline fixed-point weights (paper Section
+#: V-A: "8-bit fixed point weights").
+DEFAULT_WEIGHT_BITS = 8
+
+#: Bit-width of the QReLU outputs / hidden activations (paper Section
+#: III-B: "8 bits for the QReLU output").
+DEFAULT_ACTIVATION_BITS = 8
+
+
+@dataclass(frozen=True)
+class UniformQuantizer:
+    """Affine uniform quantizer mapping ``[lo, hi]`` to ``[0, 2**bits - 1]``.
+
+    Parameters
+    ----------
+    bits:
+        Number of bits of the integer code.
+    lo, hi:
+        Real range mapped onto the code range.  Values outside the range
+        saturate.
+    """
+
+    bits: int
+    lo: float = 0.0
+    hi: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError(f"bits must be positive, got {self.bits}")
+        if not self.hi > self.lo:
+            raise ValueError(f"hi ({self.hi}) must be greater than lo ({self.lo})")
+
+    @property
+    def levels(self) -> int:
+        """Number of quantization levels."""
+        return 1 << self.bits
+
+    @property
+    def max_code(self) -> int:
+        """Largest integer code."""
+        return self.levels - 1
+
+    @property
+    def step(self) -> float:
+        """Real-valued width of one quantization step."""
+        return (self.hi - self.lo) / self.max_code
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Map real values to integer codes (rounded, saturated)."""
+        values = np.asarray(values, dtype=np.float64)
+        codes = np.round((values - self.lo) / self.step)
+        codes = np.clip(codes, 0, self.max_code)
+        return codes.astype(np.int64)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Map integer codes back to real values."""
+        return self.lo + np.asarray(codes, dtype=np.float64) * self.step
+
+
+class InputQuantizer(UniformQuantizer):
+    """Quantizer for the normalized ``[0, 1]`` input features.
+
+    This is simply a :class:`UniformQuantizer` with ``lo=0`` and ``hi=1``
+    but kept as a distinct type so that APIs can express "this expects an
+    input quantizer" explicitly.
+    """
+
+    def __init__(self, bits: int = DEFAULT_INPUT_BITS) -> None:
+        super().__init__(bits=bits, lo=0.0, hi=1.0)
+
+
+def quantize_inputs(x: np.ndarray, bits: int = DEFAULT_INPUT_BITS) -> np.ndarray:
+    """Quantize normalized inputs ``x`` in ``[0, 1]`` to ``bits``-bit integers.
+
+    Parameters
+    ----------
+    x:
+        Array of real-valued features, expected (but not required) to lie
+        in ``[0, 1]``.  Out-of-range values saturate.
+    bits:
+        Bit-width of the integer codes (default 4, as in the paper).
+    """
+    return InputQuantizer(bits).quantize(x)
+
+
+def quantize_weights_fixed(
+    weights: np.ndarray,
+    total_bits: int = DEFAULT_WEIGHT_BITS,
+    frac_bits: int | None = None,
+) -> tuple[np.ndarray, FixedPointFormat]:
+    """Quantize real weights to signed fixed-point codes.
+
+    The fractional bit count defaults to ``total_bits - 1`` minus the
+    number of integer bits needed to cover the maximum absolute weight,
+    i.e. the finest representation without overflow — the standard
+    post-training scheme used for the bespoke baseline.
+
+    Returns
+    -------
+    (codes, fmt):
+        Integer weight codes and the :class:`FixedPointFormat` they use.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if frac_bits is None:
+        max_abs = float(np.max(np.abs(weights))) if weights.size else 0.0
+        if max_abs <= 0.0:
+            int_bits = 0
+        else:
+            int_bits = max(0, int(np.ceil(np.log2(max_abs + 1e-12))) + 1)
+        frac_bits = max(0, total_bits - 1 - int_bits)
+    fmt = FixedPointFormat(total_bits=total_bits, frac_bits=frac_bits, signed=True)
+    return fmt.quantize(weights), fmt

@@ -1,0 +1,22 @@
+"""HDL (Verilog) generation for bespoke approximate printed MLPs.
+
+The paper's framework automatically translates the trained coefficients
+and masks of every estimated-Pareto-front member into an HDL description
+that is then synthesized with commercial tools.  This subpackage emits
+the equivalent Verilog-2001 text:
+
+* :func:`~repro.rtl.verilog.generate_mlp_verilog` — a self-contained
+  combinational module implementing equation (4) with every mask, sign,
+  shift and bias hard-wired,
+* :func:`~repro.rtl.testbench.generate_testbench` — a self-checking
+  testbench whose expected responses come from the Python golden model.
+"""
+
+from repro.rtl.verilog import generate_mlp_verilog, generate_neuron_expression
+from repro.rtl.testbench import generate_testbench
+
+__all__ = [
+    "generate_mlp_verilog",
+    "generate_neuron_expression",
+    "generate_testbench",
+]

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx.config import ApproxConfig
+from repro.approx.mlp import ApproximateMLP
+from repro.approx.topology import Topology
+from repro.datasets.preprocessing import normalize_01, stratified_split
+from repro.datasets.synthetic import SyntheticSpec, generate_synthetic_classification
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_topology() -> Topology:
+    """A tiny MLP topology (4 inputs, 3 hidden, 2 classes)."""
+    return Topology((4, 3, 2))
+
+
+@pytest.fixture
+def approx_config() -> ApproxConfig:
+    """Default approximation config (4-bit inputs, 8-bit activations)."""
+    return ApproxConfig()
+
+
+@pytest.fixture
+def random_mlp(small_topology, approx_config, rng) -> ApproximateMLP:
+    """A random approximate MLP on the small topology."""
+    return ApproximateMLP.random(small_topology, approx_config, rng)
+
+
+@pytest.fixture
+def tiny_dataset(rng):
+    """A small, easily separable synthetic classification dataset.
+
+    Returns (x_train_q, y_train, x_test_q, y_test) with 4-bit quantized
+    inputs, matching the ``small_topology`` fixture (4 features, 2 classes).
+    """
+    from repro.quant.quantizers import quantize_inputs
+
+    spec = SyntheticSpec(
+        num_features=4, num_classes=2, num_samples=200, class_sep=3.0, noise=0.15
+    )
+    features, labels = generate_synthetic_classification(spec, rng)
+    features = normalize_01(features)
+    x_train, y_train, x_test, y_test = stratified_split(features, labels, 0.7, rng)
+    return (
+        quantize_inputs(x_train),
+        y_train,
+        quantize_inputs(x_test),
+        y_test,
+    )

@@ -1,0 +1,95 @@
+"""Tests for the ApproximateMLP model."""
+
+import numpy as np
+import pytest
+
+from repro.approx.config import ApproxConfig
+from repro.approx.mlp import ApproximateMLP, default_shifts
+from repro.approx.topology import Topology
+
+
+class TestDefaultShifts:
+    def test_one_shift_per_layer(self):
+        topology = Topology((10, 3, 2))
+        shifts = default_shifts(topology, ApproxConfig())
+        assert len(shifts) == 2
+        assert all(s >= 0 for s in shifts)
+
+    def test_wider_layer_needs_larger_shift(self):
+        config = ApproxConfig()
+        narrow = default_shifts(Topology((2, 2, 2)), config)[0]
+        wide = default_shifts(Topology((64, 2, 2)), config)[0]
+        assert wide > narrow
+
+
+class TestApproximateMLP:
+    def test_random_construction_shapes(self, small_topology, approx_config, rng):
+        mlp = ApproximateMLP.random(small_topology, approx_config, rng)
+        assert len(mlp.layers) == 2
+        assert mlp.layers[0].masks.shape == (4, 3)
+        assert mlp.layers[1].masks.shape == (3, 2)
+        assert mlp.layers[0].input_bits == 4
+        assert mlp.layers[1].input_bits == 8
+        assert mlp.layers[0].activation is not None
+        assert mlp.layers[1].activation is None
+
+    def test_forward_and_predict_shapes(self, random_mlp, rng):
+        x = rng.integers(0, 16, size=(13, 4))
+        scores = random_mlp.forward(x)
+        assert scores.shape == (13, 2)
+        predictions = random_mlp.predict(x)
+        assert predictions.shape == (13,)
+        assert set(np.unique(predictions)).issubset({0, 1})
+
+    def test_forward_accepts_single_sample(self, random_mlp):
+        assert random_mlp.forward(np.array([1, 2, 3, 4])).shape == (1, 2)
+
+    def test_accuracy_range(self, random_mlp, rng):
+        x = rng.integers(0, 16, size=(50, 4))
+        y = rng.integers(0, 2, size=50)
+        assert 0.0 <= random_mlp.accuracy(x, y) <= 1.0
+
+    def test_mask_density_extremes(self, small_topology, approx_config, rng):
+        dense = ApproximateMLP.random(small_topology, approx_config, rng, mask_density=1.0)
+        sparse = ApproximateMLP.random(small_topology, approx_config, rng, mask_density=0.0)
+        assert dense.sparsity() == 0.0
+        assert sparse.sparsity() == 1.0
+        assert dense.retained_bits > sparse.retained_bits
+
+    def test_serialization_roundtrip(self, random_mlp, rng):
+        clone = ApproximateMLP.from_dict(random_mlp.to_dict())
+        x = rng.integers(0, 16, size=(10, 4))
+        assert np.array_equal(clone.forward(x), random_mlp.forward(x))
+        assert clone.shifts == random_mlp.shifts
+
+    def test_copy_is_independent(self, random_mlp, rng):
+        clone = random_mlp.copy()
+        clone.layers[0].masks[:] = 0
+        assert random_mlp.layers[0].masks.sum() > 0 or random_mlp.retained_bits >= 0
+        x = rng.integers(0, 16, size=(5, 4))
+        # The original is unaffected by mutating the copy.
+        assert not np.array_equal(clone.layers[0].masks, random_mlp.layers[0].masks) or (
+            random_mlp.layers[0].masks.sum() == 0
+        )
+
+    def test_layer_count_mismatch_rejected(self, small_topology, approx_config, random_mlp):
+        with pytest.raises(ValueError):
+            ApproximateMLP(
+                topology=Topology((4, 3, 3, 2)),
+                config=approx_config,
+                layers=random_mlp.layers,
+            )
+
+    def test_num_parameters_matches_topology(self, random_mlp, small_topology):
+        assert random_mlp.num_parameters == small_topology.num_parameters
+
+    def test_callable_alias(self, random_mlp, rng):
+        x = rng.integers(0, 16, size=(3, 4))
+        assert np.array_equal(random_mlp(x), random_mlp.forward(x))
+
+    def test_fully_pruned_mlp_predicts_constant(self, small_topology, approx_config, rng):
+        mlp = ApproximateMLP.random(small_topology, approx_config, rng, mask_density=0.0)
+        for layer in mlp.layers:
+            layer.biases[:] = 0
+        x = rng.integers(0, 16, size=(20, 4))
+        assert np.all(mlp.predict(x) == mlp.predict(x)[0])

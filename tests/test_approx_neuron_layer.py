@@ -1,0 +1,158 @@
+"""Tests for the approximate neuron and layer forward models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx.layer import ApproximateLayer, worst_case_shift
+from repro.approx.neuron import ApproximateNeuron
+from repro.quant.qrelu import QReLU
+
+
+def simple_neuron(**overrides):
+    """A small, hand-checkable neuron."""
+    params = dict(
+        masks=np.array([0b1111, 0b1010, 0b0000]),
+        signs=np.array([1, -1, 1]),
+        exponents=np.array([0, 2, 1]),
+        bias=5,
+        input_bits=4,
+    )
+    params.update(overrides)
+    return ApproximateNeuron(**params)
+
+
+class TestApproximateNeuron:
+    def test_summands_match_equation4(self):
+        neuron = simple_neuron()
+        x = np.array([[7, 15, 9]])
+        # (7 & 15) << 0 = 7 ; -( (15 & 0b1010) << 2 ) = -(10 << 2) = -40 ; masked-out -> 0
+        assert np.array_equal(neuron.summands(x), np.array([[7, -40, 0]]))
+        assert neuron.accumulate(x)[0] == 7 - 40 + 0 + 5
+
+    def test_forward_without_activation_is_accumulator(self):
+        neuron = simple_neuron()
+        x = np.array([[1, 2, 3]])
+        assert neuron.forward(x)[0] == neuron.accumulate(x)[0]
+
+    def test_forward_with_qrelu(self):
+        neuron = simple_neuron(activation=QReLU(shift=0, out_bits=4))
+        x = np.array([[15, 0, 0]])
+        assert neuron.forward(x)[0] == min(15 + 5, 15)
+
+    def test_zero_mask_removes_connection(self):
+        neuron = simple_neuron(masks=np.array([0, 0, 0]))
+        x = np.array([[15, 15, 15]])
+        assert neuron.accumulate(x)[0] == neuron.bias
+
+    def test_active_connections(self):
+        assert simple_neuron().active_connections == 2
+
+    def test_accumulator_bounds(self):
+        neuron = simple_neuron()
+        assert neuron.max_accumulator() == 15 + 5
+        assert neuron.min_accumulator() == -(0b1010 << 2)
+
+    def test_bounds_contain_all_inputs(self, rng):
+        neuron = simple_neuron()
+        xs = rng.integers(0, 16, size=(200, 3))
+        accs = neuron.accumulate(xs)
+        assert accs.max() <= neuron.max_accumulator()
+        assert accs.min() >= neuron.min_accumulator()
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            simple_neuron(masks=np.array([16, 0, 0]))  # exceeds 4 bits
+        with pytest.raises(ValueError):
+            simple_neuron(signs=np.array([1, 0, 1]))
+        with pytest.raises(ValueError):
+            simple_neuron(exponents=np.array([-1, 0, 0]))
+        with pytest.raises(ValueError):
+            simple_neuron(masks=np.array([[1, 2, 3]]))  # wrong ndim
+
+
+class TestWorstCaseShift:
+    def test_small_layer_no_shift_needed(self):
+        # 1 input of 4 bits, max exponent 0: accumulator fits in 8 bits.
+        assert worst_case_shift(1, 4, 0, 8) == 0
+
+    def test_larger_layer_requires_shift(self):
+        shift = worst_case_shift(fan_in=10, input_bits=4, max_exponent=6, out_bits=8)
+        max_acc = 10 * (15 << 6)
+        assert (max_acc >> shift) <= 2**8 * 2  # within a factor of the target range
+        assert shift > 0
+
+    def test_rejects_non_positive_fan_in(self):
+        with pytest.raises(ValueError):
+            worst_case_shift(0, 4, 0, 8)
+
+
+class TestApproximateLayer:
+    def make_layer(self, rng, fan_in=5, fan_out=3, input_bits=4, activation=None):
+        return ApproximateLayer(
+            masks=rng.integers(0, 1 << input_bits, size=(fan_in, fan_out)),
+            signs=rng.choice([-1, 1], size=(fan_in, fan_out)),
+            exponents=rng.integers(0, 7, size=(fan_in, fan_out)),
+            biases=rng.integers(-128, 128, size=fan_out),
+            input_bits=input_bits,
+            activation=activation,
+        )
+
+    def test_layer_matches_per_neuron_forward(self, rng):
+        layer = self.make_layer(rng, activation=QReLU(shift=3, out_bits=8))
+        x = rng.integers(0, 16, size=(20, 5))
+        layer_out = layer.forward(x)
+        for j, neuron in enumerate(layer.neurons()):
+            assert np.array_equal(layer_out[:, j], neuron.forward(x))
+
+    def test_accumulate_shape_and_1d_input(self, rng):
+        layer = self.make_layer(rng)
+        assert layer.accumulate(np.zeros(5, dtype=int)).shape == (1, 3)
+        assert layer.accumulate(np.zeros((7, 5), dtype=int)).shape == (7, 3)
+
+    def test_accumulate_rejects_wrong_features(self, rng):
+        layer = self.make_layer(rng)
+        with pytest.raises(ValueError):
+            layer.accumulate(np.zeros((4, 9), dtype=int))
+
+    def test_neuron_index_bounds(self, rng):
+        layer = self.make_layer(rng)
+        with pytest.raises(IndexError):
+            layer.neuron(3)
+
+    def test_accumulator_bounds_contain_samples(self, rng):
+        layer = self.make_layer(rng)
+        x = rng.integers(0, 16, size=(300, 5))
+        acc = layer.accumulate(x)
+        assert np.all(acc.max(axis=0) <= layer.max_accumulators())
+        assert np.all(acc.min(axis=0) >= layer.min_accumulators())
+
+    def test_active_connections_and_retained_bits(self, rng):
+        layer = ApproximateLayer(
+            masks=np.array([[0b1010, 0], [0b1, 0b1111]]),
+            signs=np.ones((2, 2), dtype=int),
+            exponents=np.zeros((2, 2), dtype=int),
+            biases=np.zeros(2, dtype=int),
+            input_bits=4,
+        )
+        assert layer.active_connections == 3
+        assert layer.retained_bits == 2 + 1 + 4
+
+    def test_validation_errors(self, rng):
+        with pytest.raises(ValueError):
+            ApproximateLayer(
+                masks=np.zeros((2, 2)),
+                signs=np.ones((2, 2)),
+                exponents=np.zeros((2, 2)),
+                biases=np.zeros(3),
+                input_bits=4,
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_property_qrelu_layer_output_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        layer = self.make_layer(rng, activation=QReLU(shift=2, out_bits=8))
+        x = rng.integers(0, 16, size=(10, 5))
+        out = layer.forward(x)
+        assert out.min() >= 0 and out.max() <= 255

@@ -1,0 +1,251 @@
+"""Tests for the gradient trainer, exact bespoke baseline and SOTA comparators."""
+
+import numpy as np
+import pytest
+
+from repro.approx.topology import Topology
+from repro.baselines.approx_tc23 import (
+    Tc23ApproximateMLP,
+    Tc23Config,
+    approximate_weight_code,
+    explore_tc23,
+)
+from repro.baselines.exact_bespoke import BespokeMLP, quantize_float_mlp, train_exact_baseline
+from repro.baselines.gradient import FloatMLP, GradientTrainer
+from repro.baselines.stochastic_date21 import StochasticConfig, StochasticMLP
+from repro.baselines.vos_tcad23 import VosApproximateMLP, VosConfig, explore_vos
+from repro.hardware.area import csd_nonzero_digits
+
+
+@pytest.fixture(scope="module")
+def toy_data():
+    from repro.datasets.preprocessing import normalize_01, stratified_split
+    from repro.datasets.synthetic import SyntheticSpec, generate_synthetic_classification
+
+    rng = np.random.default_rng(11)
+    spec = SyntheticSpec(num_features=6, num_classes=3, num_samples=300, class_sep=3.0, noise=0.15)
+    features, labels = generate_synthetic_classification(spec, rng)
+    features = normalize_01(features)
+    return stratified_split(features, labels, 0.7, rng)
+
+
+@pytest.fixture(scope="module")
+def trained_baseline(toy_data):
+    x_train, y_train, _, _ = toy_data
+    trainer = GradientTrainer(epochs=60, restarts=1, seed=0)
+    bespoke, float_model = train_exact_baseline(x_train, y_train, (6, 4, 3), trainer=trainer)
+    return bespoke, float_model
+
+
+class TestGradientTrainer:
+    def test_learns_separable_data(self, toy_data):
+        x_train, y_train, x_test, y_test = toy_data
+        result = GradientTrainer(epochs=60, restarts=1, seed=0).train(x_train, y_train, (6, 4, 3))
+        assert result.train_accuracy > 0.85
+        assert result.model.accuracy(x_test, y_test) > 0.8
+        assert result.wall_clock_seconds > 0
+        assert len(result.losses) == 60
+
+    def test_loss_decreases(self, toy_data):
+        x_train, y_train, _, _ = toy_data
+        result = GradientTrainer(epochs=40, restarts=1, seed=0).train(x_train, y_train, (6, 4, 3))
+        assert result.losses[-1] < result.losses[0]
+
+    def test_sgd_optimizer_runs(self, toy_data):
+        x_train, y_train, _, _ = toy_data
+        result = GradientTrainer(
+            epochs=20, restarts=1, optimizer="sgd", learning_rate=0.05, seed=0
+        ).train(x_train, y_train, (6, 4, 3))
+        assert result.train_accuracy > 0.4
+
+    def test_restarts_pick_best(self, toy_data):
+        x_train, y_train, _, _ = toy_data
+        single = GradientTrainer(epochs=15, restarts=1, seed=0).train(x_train, y_train, (6, 2, 3))
+        multi = GradientTrainer(epochs=15, restarts=3, seed=0).train(x_train, y_train, (6, 2, 3))
+        assert multi.train_accuracy >= single.train_accuracy - 1e-9
+
+    def test_input_validation(self, toy_data):
+        x_train, y_train, _, _ = toy_data
+        trainer = GradientTrainer(epochs=1, restarts=1)
+        with pytest.raises(ValueError):
+            trainer.train(x_train, y_train, (5, 3, 3))  # wrong feature count
+        with pytest.raises(ValueError):
+            trainer.train(x_train, y_train, (6, 3, 2))  # too few outputs
+        with pytest.raises(ValueError):
+            GradientTrainer(optimizer="rmsprop")
+        with pytest.raises(ValueError):
+            GradientTrainer(restarts=0)
+
+    def test_float_mlp_construction_checks(self, rng):
+        topology = Topology((3, 2, 2))
+        model = FloatMLP.random(topology, rng)
+        with pytest.raises(ValueError):
+            FloatMLP(topology=topology, weights=model.weights[:1], biases=model.biases)
+        assert len(model.hidden_activations(rng.random((5, 3)))) == 1
+
+
+class TestExactBespoke:
+    def test_quantization_preserves_accuracy(self, toy_data, trained_baseline):
+        x_train, y_train, x_test, y_test = toy_data
+        bespoke, float_model = trained_baseline
+        from repro.quant.quantizers import quantize_inputs
+
+        float_acc = float_model.accuracy(x_test, y_test)
+        quant_acc = bespoke.accuracy(quantize_inputs(x_test), y_test)
+        assert quant_acc >= float_acc - 0.1
+
+    def test_weight_codes_fit_8_bits(self, trained_baseline):
+        bespoke, _ = trained_baseline
+        for codes in bespoke.weight_codes:
+            assert codes.min() >= -128 and codes.max() <= 127
+
+    def test_forward_shapes(self, trained_baseline, rng):
+        bespoke, _ = trained_baseline
+        x = rng.integers(0, 16, size=(9, 6))
+        assert bespoke.forward(x).shape == (9, 3)
+        assert bespoke.predict(x).shape == (9,)
+
+    def test_synthesize_produces_report(self, trained_baseline):
+        bespoke, _ = trained_baseline
+        report = bespoke.synthesize()
+        assert report.area_cm2 > 0 and report.power_mw > 0
+        assert report.power_mw / report.area_cm2 == pytest.approx(3.4, abs=1.0)
+
+    def test_structure_validation(self, trained_baseline):
+        bespoke, _ = trained_baseline
+        with pytest.raises(ValueError):
+            BespokeMLP(
+                topology=bespoke.topology,
+                weight_codes=bespoke.weight_codes[:1],
+                bias_codes=bespoke.bias_codes,
+                shifts=bespoke.shifts,
+            )
+
+    def test_quantize_float_mlp_shift_calibration(self, toy_data, trained_baseline):
+        x_train, _, _, _ = toy_data
+        _, float_model = trained_baseline
+        bespoke = quantize_float_mlp(float_model, x_train)
+        assert all(shift >= 0 for shift in bespoke.shifts)
+        assert bespoke.input_bits_per_layer == [4, 8]
+
+
+class TestTc23Baseline:
+    def test_weight_approximation_reduces_csd_digits(self):
+        for code in (87, -113, 255, 73):
+            approx = approximate_weight_code(code, max_csd_digits=2)
+            assert csd_nonzero_digits(approx) <= 2
+
+    def test_weight_approximation_identity_when_cheap(self):
+        assert approximate_weight_code(8, 2) == 8
+        assert approximate_weight_code(0, 2) == 0
+        assert approximate_weight_code(5, 0) == 0
+
+    def test_tc23_accuracy_degrades_gracefully(self, toy_data, trained_baseline):
+        x_train, y_train, x_test, y_test = toy_data
+        bespoke, _ = trained_baseline
+        from repro.quant.quantizers import quantize_inputs
+
+        xq = quantize_inputs(x_test)
+        exact_acc = bespoke.accuracy(xq, y_test)
+        mild = Tc23ApproximateMLP(bespoke, Tc23Config(max_csd_digits=3, truncation_bits=0))
+        assert mild.accuracy(xq, y_test) >= exact_acc - 0.1
+
+    def test_tc23_truncation_shrinks_area(self, trained_baseline):
+        bespoke, _ = trained_baseline
+        full = Tc23ApproximateMLP(bespoke, Tc23Config(2, 0)).synthesize()
+        truncated = Tc23ApproximateMLP(bespoke, Tc23Config(2, 3)).synthesize()
+        assert truncated.area_cm2 < full.area_cm2
+
+    def test_explore_tc23_respects_loss_budget(self, toy_data, trained_baseline):
+        x_train, y_train, x_test, y_test = toy_data
+        bespoke, _ = trained_baseline
+        from repro.quant.quantizers import quantize_inputs
+
+        xq = quantize_inputs(x_test)
+        base_acc = bespoke.accuracy(xq, y_test)
+        model, report, sweep = explore_tc23(bespoke, xq, y_test, base_acc, max_accuracy_loss=0.05)
+        assert len(sweep) == 12
+        if model is not None:
+            assert model.accuracy(xq, y_test) >= base_acc - 0.05
+            assert report.area_cm2 < bespoke.synthesize().area_cm2
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            Tc23Config(max_csd_digits=0)
+        with pytest.raises(ValueError):
+            Tc23Config(truncation_bits=-1)
+
+
+class TestVosBaseline:
+    def test_error_probability_scales_with_voltage(self):
+        assert VosConfig(voltage=1.0).timing_error_probability == 0.0
+        assert VosConfig(voltage=0.6).timing_error_probability == pytest.approx(0.08)
+        assert 0 < VosConfig(voltage=0.8).timing_error_probability < 0.08
+
+    def test_power_lower_than_nominal(self, trained_baseline):
+        bespoke, _ = trained_baseline
+        vos = VosApproximateMLP(bespoke, VosConfig(voltage=0.8))
+        nominal = Tc23ApproximateMLP(bespoke, Tc23Config(2, 0)).synthesize()
+        assert vos.synthesize().power_mw < nominal.power_mw
+
+    def test_vos_accuracy_not_better_than_exact(self, toy_data, trained_baseline):
+        x_train, y_train, x_test, y_test = toy_data
+        bespoke, _ = trained_baseline
+        from repro.quant.quantizers import quantize_inputs
+
+        xq = quantize_inputs(x_test)
+        vos = VosApproximateMLP(bespoke, VosConfig(voltage=0.7), seed=1)
+        assert vos.accuracy(xq, y_test) <= bespoke.accuracy(xq, y_test) + 0.05
+
+    def test_explore_vos_returns_sweep(self, toy_data, trained_baseline):
+        x_train, y_train, x_test, y_test = toy_data
+        bespoke, _ = trained_baseline
+        from repro.quant.quantizers import quantize_inputs
+
+        xq = quantize_inputs(x_test)
+        base_acc = bespoke.accuracy(xq, y_test)
+        _, _, sweep = explore_vos(bespoke, xq, y_test, base_acc)
+        assert len(sweep) == 6
+
+    def test_invalid_voltage(self):
+        with pytest.raises(ValueError):
+            VosConfig(voltage=0.4)
+
+
+class TestStochasticBaseline:
+    def test_accuracy_much_lower_than_float(self, toy_data, trained_baseline):
+        x_train, y_train, x_test, y_test = toy_data
+        _, float_model = trained_baseline
+        stochastic = StochasticMLP(float_model, StochasticConfig(seed=0))
+        sc_acc = stochastic.accuracy(x_test, y_test)
+        float_acc = float_model.accuracy(x_test, y_test)
+        assert sc_acc <= float_acc
+        assert 0.0 <= sc_acc <= 1.0
+
+    def test_small_area_but_long_latency(self, trained_baseline):
+        bespoke, float_model = trained_baseline
+        stochastic = StochasticMLP(float_model)
+        report = stochastic.synthesize()
+        assert report.area_cm2 < bespoke.synthesize().area_cm2
+        assert report.clock_period_ms == pytest.approx(1024 * 0.22)
+
+    def test_longer_streams_reduce_output_noise(self, toy_data, trained_baseline):
+        x_train, y_train, x_test, y_test = toy_data
+        _, float_model = trained_baseline
+        sample = x_test[:5]
+
+        def output_spread(stream_length: int) -> float:
+            outputs = [
+                StochasticMLP(
+                    float_model, StochasticConfig(stream_length=stream_length, seed=seed)
+                ).forward(sample)
+                for seed in range(8)
+            ]
+            return float(np.std(np.stack(outputs), axis=0).mean())
+
+        # Binomial sampling noise shrinks with the bitstream length.
+        assert output_spread(4096) < output_spread(16)
+
+    def test_invalid_stream_length(self):
+        with pytest.raises(ValueError):
+            StochasticConfig(stream_length=0)

@@ -1,0 +1,157 @@
+"""Tests for the NSGA-II machinery and Pareto utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.nsga2 import (
+    constrained_dominates,
+    crowding_distance,
+    dominates,
+    fast_non_dominated_sort,
+    nsga2_sort_key,
+)
+from repro.core.pareto import ParetoArchive, ParetoPoint, hypervolume, pareto_front
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates(np.array([1.0, 1.0]), np.array([2.0, 2.0]))
+        assert not dominates(np.array([2.0, 2.0]), np.array([1.0, 1.0]))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(np.array([1.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_trade_off_points_do_not_dominate(self):
+        assert not dominates(np.array([1.0, 3.0]), np.array([2.0, 2.0]))
+        assert not dominates(np.array([2.0, 2.0]), np.array([1.0, 3.0]))
+
+    def test_constrained_dominance_feasibility_first(self):
+        good = np.array([10.0, 10.0])
+        bad = np.array([0.0, 0.0])
+        assert constrained_dominates(good, bad, violation_a=0.0, violation_b=1.0)
+        assert not constrained_dominates(bad, good, violation_a=1.0, violation_b=0.0)
+
+    def test_constrained_dominance_among_infeasible(self):
+        a = np.array([5.0, 5.0])
+        b = np.array([1.0, 1.0])
+        assert constrained_dominates(a, b, violation_a=0.1, violation_b=0.5)
+
+    def test_constrained_dominance_among_feasible_is_pareto(self):
+        assert constrained_dominates(np.array([1.0, 1.0]), np.array([2.0, 2.0]))
+
+
+class TestNonDominatedSort:
+    def test_simple_fronts(self):
+        objectives = np.array([[1.0, 1.0], [2.0, 2.0], [0.5, 3.0], [3.0, 3.0]])
+        fronts = fast_non_dominated_sort(objectives)
+        assert set(fronts[0]) == {0, 2}
+        assert set(fronts[1]) == {1}
+        assert set(fronts[2]) == {3}
+
+    def test_all_points_assigned_once(self):
+        rng = np.random.default_rng(0)
+        objectives = rng.random((30, 2))
+        fronts = fast_non_dominated_sort(objectives)
+        flattened = [i for front in fronts for i in front]
+        assert sorted(flattened) == list(range(30))
+
+    def test_infeasible_points_pushed_back(self):
+        objectives = np.array([[1.0, 1.0], [5.0, 5.0]])
+        fronts = fast_non_dominated_sort(objectives, violations=[1.0, 0.0])
+        assert fronts[0] == [1]
+
+    def test_violation_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fast_non_dominated_sort(np.zeros((3, 2)), violations=[0.0])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_property_front0_is_non_dominated(self, seed):
+        rng = np.random.default_rng(seed)
+        objectives = rng.random((20, 2))
+        front0 = fast_non_dominated_sort(objectives)[0]
+        for i in front0:
+            assert not any(dominates(objectives[j], objectives[i]) for j in range(20) if j != i)
+
+
+class TestCrowding:
+    def test_boundary_points_infinite(self):
+        objectives = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        distance = crowding_distance(objectives)
+        assert np.isinf(distance[0]) and np.isinf(distance[3])
+        assert np.isfinite(distance[1]) and np.isfinite(distance[2])
+
+    def test_small_front_all_infinite(self):
+        assert np.all(np.isinf(crowding_distance(np.array([[1.0, 2.0], [2.0, 1.0]]))))
+
+    def test_empty_front(self):
+        assert crowding_distance(np.zeros((0, 2))).shape == (0,)
+
+    def test_sort_key_shapes(self):
+        objectives = np.random.default_rng(0).random((12, 2))
+        ranks, crowding = nsga2_sort_key(objectives)
+        assert ranks.shape == (12,) and crowding.shape == (12,)
+        assert ranks.min() == 0
+
+
+class TestParetoFrontUtilities:
+    def make_points(self):
+        return [
+            ParetoPoint(error=0.1, area=100, accuracy=0.9),
+            ParetoPoint(error=0.2, area=50, accuracy=0.8),
+            ParetoPoint(error=0.3, area=20, accuracy=0.7),
+            ParetoPoint(error=0.25, area=80, accuracy=0.75),  # dominated
+        ]
+
+    def test_pareto_front_filters_dominated(self):
+        front = pareto_front(self.make_points())
+        assert len(front) == 3
+        assert all(p.area != 80 for p in front)
+
+    def test_pareto_front_sorted_by_area(self):
+        areas = [p.area for p in pareto_front(self.make_points())]
+        assert areas == sorted(areas)
+
+    def test_duplicates_collapsed(self):
+        points = [ParetoPoint(0.1, 10, 0.9), ParetoPoint(0.1, 10, 0.9)]
+        assert len(pareto_front(points)) == 1
+
+    def test_hypervolume_positive_and_monotonic(self):
+        points = self.make_points()
+        reference = (1.0, 200.0)
+        hv_all = hypervolume(points, reference)
+        hv_one = hypervolume(points[:1], reference)
+        assert hv_all > hv_one > 0
+
+    def test_hypervolume_empty_outside_reference(self):
+        assert hypervolume([ParetoPoint(2.0, 300, 0.0)], (1.0, 200.0)) == 0.0
+
+    def test_archive_keeps_non_dominated_only(self):
+        archive = ParetoArchive(max_size=10)
+        assert archive.add(ParetoPoint(0.5, 50, 0.5))
+        assert not archive.add(ParetoPoint(0.6, 60, 0.4))  # dominated
+        assert archive.add(ParetoPoint(0.4, 60, 0.6))
+        assert len(archive) == 2
+
+    def test_archive_removes_newly_dominated(self):
+        archive = ParetoArchive()
+        archive.add(ParetoPoint(0.5, 50, 0.5))
+        archive.add(ParetoPoint(0.3, 30, 0.7))  # dominates the first
+        assert len(archive) == 1
+        assert archive.points[0].area == 30
+
+    def test_archive_thinning_respects_max_size(self):
+        archive = ParetoArchive(max_size=5)
+        for i in range(30):
+            archive.add(ParetoPoint(error=1.0 - i * 0.01, area=float(i), accuracy=i * 0.01))
+        assert len(archive) <= 5
+
+    def test_archive_extend_counts_kept(self):
+        archive = ParetoArchive()
+        kept = archive.extend([ParetoPoint(0.5, 50, 0.5), ParetoPoint(0.6, 60, 0.4)])
+        assert kept == 1
+
+    def test_archive_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            ParetoArchive(max_size=0)

@@ -1,0 +1,192 @@
+"""Tests for the genetic operators, population initialization and fitness."""
+
+import numpy as np
+import pytest
+
+from repro.approx.config import ApproxConfig
+from repro.baselines.gradient import FloatMLP
+from repro.core.chromosome import ChromosomeLayout
+from repro.core.fitness import FitnessEvaluator, FitnessValues
+from repro.core.operators import GeneticOperators
+from repro.core.population import PopulationInitializer
+
+
+@pytest.fixture
+def layout(small_topology, approx_config):
+    return ChromosomeLayout(small_topology, approx_config)
+
+
+@pytest.fixture
+def operators(layout):
+    return GeneticOperators(layout=layout, crossover_probability=1.0, mutation_probability=0.1)
+
+
+class TestOperators:
+    def test_crossover_children_within_bounds(self, layout, operators, rng):
+        a, b = layout.random(rng), layout.random(rng)
+        child_a, child_b = operators.crossover_pair(a, b, rng)
+        layout.validate(child_a)
+        layout.validate(child_b)
+
+    def test_uniform_crossover_mixes_genes(self, layout, operators, rng):
+        a = layout.lower_bounds.copy()
+        b = layout.upper_bounds.copy()
+        child_a, child_b = operators.crossover_pair(a, b, rng)
+        # Every gene of each child comes from one of the parents.
+        assert np.all((child_a == a) | (child_a == b))
+        assert np.all((child_b == a) | (child_b == b))
+        # And the two children are complementary.
+        assert np.all((child_a == a) ^ (child_b == a) | (a == b))
+
+    def test_one_point_crossover(self, layout, rng):
+        ops = GeneticOperators(layout, crossover_probability=1.0, crossover="one_point")
+        a = layout.lower_bounds.copy()
+        b = layout.upper_bounds.copy()
+        child_a, _ = ops.crossover_pair(a, b, rng)
+        switches = np.count_nonzero(np.diff((child_a == a).astype(int)))
+        assert switches <= 1 + np.count_nonzero(a == b)
+
+    def test_no_crossover_when_probability_zero(self, layout, rng):
+        ops = GeneticOperators(layout, crossover_probability=0.0)
+        a, b = layout.random(rng), layout.random(rng)
+        child_a, child_b = ops.crossover_pair(a, b, rng)
+        assert np.array_equal(child_a, a) and np.array_equal(child_b, b)
+
+    def test_crossover_shape_mismatch(self, layout, operators, rng):
+        with pytest.raises(ValueError):
+            operators.crossover_pair(layout.random(rng), np.zeros(3, dtype=np.int64), rng)
+
+    def test_mutation_respects_bounds(self, layout, rng):
+        ops = GeneticOperators(layout, mutation_probability=1.0)
+        for _ in range(5):
+            layout.validate(ops.mutate(layout.random(rng), rng))
+
+    def test_mutation_zero_probability_is_identity(self, layout, rng):
+        ops = GeneticOperators(layout, mutation_probability=0.0)
+        chromosome = layout.random(rng)
+        assert np.array_equal(ops.mutate(chromosome, rng), chromosome)
+
+    def test_mutation_changes_some_genes(self, layout, rng):
+        ops = GeneticOperators(layout, mutation_probability=1.0)
+        chromosome = layout.random(rng)
+        mutated = ops.mutate(chromosome, rng)
+        assert np.any(mutated != chromosome)
+
+    def test_tournament_prefers_lower_rank(self, layout, rng):
+        ops = GeneticOperators(layout)
+        population = [layout.random(rng) for _ in range(2)]
+        ranks = np.array([0, 5])
+        crowding = np.array([0.0, 0.0])
+        wins = sum(
+            np.array_equal(
+                ops.tournament_select(population, ranks, crowding, rng), population[0]
+            )
+            for _ in range(30)
+        )
+        assert wins == 30  # with distinct contestants the lower rank always wins
+
+    def test_make_offspring_count_and_validity(self, layout, operators, rng):
+        population = [layout.random(rng) for _ in range(6)]
+        ranks = np.zeros(6, dtype=int)
+        crowding = np.zeros(6)
+        children = operators.make_offspring(population, ranks, crowding, 9, rng)
+        assert len(children) == 9
+        for child in children:
+            layout.validate(child)
+
+    def test_invalid_configuration(self, layout):
+        with pytest.raises(ValueError):
+            GeneticOperators(layout, crossover_probability=2.0)
+        with pytest.raises(ValueError):
+            GeneticOperators(layout, mutation_probability=-0.1)
+        with pytest.raises(ValueError):
+            GeneticOperators(layout, crossover="two_point")
+
+
+class TestPopulationInitializer:
+    def test_population_size_and_validity(self, layout, rng):
+        init = PopulationInitializer(layout, doping_fraction=0.1)
+        population = init.build(20, rng)
+        assert len(population) == 20
+        for individual in population:
+            layout.validate(individual)
+
+    def test_doped_individuals_have_open_masks(self, layout, rng):
+        init = PopulationInitializer(layout, doping_fraction=1.0)
+        population = init.build(5, rng)
+        mask_flags = layout.mask_gene_flags
+        widths = layout.mask_bits_per_gene
+        for individual in population:
+            assert np.all(individual[mask_flags] == (1 << widths[mask_flags]) - 1)
+
+    def test_seed_model_projects_pow2(self, layout, rng, small_topology):
+        seed_model = FloatMLP.random(small_topology, rng)
+        init = PopulationInitializer(layout, doping_fraction=1.0, seed_model=seed_model)
+        individual = init.build(1, rng)[0]
+        decoded = layout.decode(individual)
+        # Seeded signs should follow the float model's weight signs.
+        float_signs = np.where(seed_model.weights[0] < 0, -1, 1)
+        agreement = np.mean(decoded.layers[0].signs == float_signs)
+        assert agreement > 0.9
+
+    def test_mask_density_zero_gives_empty_masks(self, layout, rng):
+        init = PopulationInitializer(layout, doping_fraction=0.0, mask_density=0.0)
+        individual = init.build(1, rng)[0]
+        assert np.all(individual[layout.mask_gene_flags] == 0)
+
+    def test_seed_model_topology_mismatch(self, layout, rng):
+        from repro.approx.topology import Topology
+
+        wrong = FloatMLP.random(Topology((7, 3, 2)), rng)
+        with pytest.raises(ValueError):
+            PopulationInitializer(layout, seed_model=wrong)
+
+    def test_invalid_fractions(self, layout):
+        with pytest.raises(ValueError):
+            PopulationInitializer(layout, doping_fraction=1.5)
+        with pytest.raises(ValueError):
+            PopulationInitializer(layout, mask_density=-0.1)
+        with pytest.raises(ValueError):
+            PopulationInitializer(layout).build(0, np.random.default_rng(0))
+
+
+class TestFitnessEvaluator:
+    def test_objectives_and_ranges(self, layout, tiny_dataset):
+        x_train, y_train, _, _ = tiny_dataset
+        evaluator = FitnessEvaluator(layout, x_train, y_train)
+        fitness = evaluator.evaluate(layout.random(np.random.default_rng(0)))
+        assert isinstance(fitness, FitnessValues)
+        assert 0.0 <= fitness.accuracy <= 1.0
+        assert fitness.error == pytest.approx(1.0 - fitness.accuracy)
+        assert fitness.area >= 0
+        assert fitness.feasible  # no baseline -> no constraint
+
+    def test_constraint_violation(self, layout, tiny_dataset):
+        x_train, y_train, _, _ = tiny_dataset
+        evaluator = FitnessEvaluator(
+            layout, x_train, y_train, baseline_accuracy=1.0, max_accuracy_loss=0.0
+        )
+        fitness = evaluator.evaluate(layout.random(np.random.default_rng(0)))
+        if fitness.accuracy < 1.0:
+            assert fitness.constraint_violation > 0
+            assert not fitness.feasible
+
+    def test_evaluation_counter(self, layout, tiny_dataset):
+        x_train, y_train, _, _ = tiny_dataset
+        evaluator = FitnessEvaluator(layout, x_train, y_train)
+        rng = np.random.default_rng(0)
+        evaluator.evaluate_population([layout.random(rng) for _ in range(7)])
+        assert evaluator.evaluations == 7
+
+    def test_input_validation(self, layout, tiny_dataset):
+        x_train, y_train, _, _ = tiny_dataset
+        with pytest.raises(ValueError):
+            FitnessEvaluator(layout, x_train, y_train[:-1])
+        with pytest.raises(ValueError):
+            FitnessEvaluator(layout, x_train[:, :2], y_train)
+        with pytest.raises(ValueError):
+            FitnessEvaluator(layout, x_train, y_train, max_accuracy_loss=-1.0)
+
+    def test_objectives_property(self):
+        values = FitnessValues(error=0.25, area=12.0, accuracy=0.75)
+        assert np.array_equal(values.objectives, np.array([0.25, 12.0]))

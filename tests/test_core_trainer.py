@@ -1,0 +1,120 @@
+"""Tests for the NSGA-II trainer (integration of the core package)."""
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import GAConfig, GATrainer
+from repro.hardware.fast_area import fast_mlp_fa_count
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_dataset_module):
+    x_train, y_train, _, _ = tiny_dataset_module
+    config = GAConfig(population_size=16, generations=8, seed=0)
+    trainer = GATrainer((4, 3, 2), ga_config=config)
+    result = trainer.train(x_train, y_train)
+    return trainer, result
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset_module():
+    from repro.datasets.preprocessing import normalize_01, stratified_split
+    from repro.datasets.synthetic import SyntheticSpec, generate_synthetic_classification
+    from repro.quant.quantizers import quantize_inputs
+
+    rng = np.random.default_rng(7)
+    spec = SyntheticSpec(num_features=4, num_classes=2, num_samples=160, class_sep=3.0, noise=0.15)
+    features, labels = generate_synthetic_classification(spec, rng)
+    features = normalize_01(features)
+    x_train, y_train, x_test, y_test = stratified_split(features, labels, 0.7, rng)
+    return quantize_inputs(x_train), y_train, quantize_inputs(x_test), y_test
+
+
+class TestGAConfig:
+    def test_defaults_follow_paper(self):
+        config = GAConfig()
+        assert config.crossover_probability == pytest.approx(0.7)
+        assert config.doping_fraction == pytest.approx(0.10)
+        assert config.max_accuracy_loss == pytest.approx(0.10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GAConfig(population_size=2)
+        with pytest.raises(ValueError):
+            GAConfig(generations=0)
+
+
+class TestGATrainer:
+    def test_result_structure(self, trained):
+        trainer, result = trained
+        assert result.evaluations == 16 * (8 + 1)
+        assert len(result.history) == 8
+        assert len(result.estimated_front) >= 1
+        assert result.wall_clock_seconds > 0
+
+    def test_front_points_carry_chromosomes(self, trained):
+        trainer, result = trained
+        for point in result.estimated_front:
+            mlp = result.decode(point)
+            assert fast_mlp_fa_count(mlp) == int(point.area)
+
+    def test_front_is_non_dominated(self, trained):
+        _, result = trained
+        front = result.estimated_front
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                assert not (b.error <= a.error and b.area < a.area) or b.error > a.error
+
+    def test_training_improves_over_random(self, trained, tiny_dataset_module):
+        _, result = trained
+        x_train, y_train, _, _ = tiny_dataset_module
+        best = result.best_accuracy_point()
+        majority = max(np.mean(y_train == 0), np.mean(y_train == 1))
+        assert best.accuracy >= majority
+
+    def test_hypervolume_non_decreasing(self, trained):
+        _, result = trained
+        hypervolumes = [stats.hypervolume for stats in result.history]
+        assert all(b >= a - 1e-9 for a, b in zip(hypervolumes, hypervolumes[1:]))
+
+    def test_select_within_accuracy_loss(self, trained):
+        _, result = trained
+        best = result.best_accuracy_point()
+        selected = result.select_within_accuracy_loss(0.05, baseline_accuracy=best.accuracy)
+        assert selected is not None
+        assert selected.accuracy >= best.accuracy - 0.05
+        assert selected.area <= best.area
+
+    def test_select_requires_baseline(self, trained):
+        _, result = trained
+        with pytest.raises(ValueError):
+            result.select_within_accuracy_loss(0.05)
+
+    def test_deterministic_given_seed(self, tiny_dataset_module):
+        x_train, y_train, _, _ = tiny_dataset_module
+        config = GAConfig(population_size=12, generations=4, seed=3)
+        result_a = GATrainer((4, 3, 2), ga_config=config).train(x_train, y_train)
+        result_b = GATrainer((4, 3, 2), ga_config=config).train(x_train, y_train)
+        front_a = [(p.error, p.area) for p in result_a.estimated_front]
+        front_b = [(p.error, p.area) for p in result_b.estimated_front]
+        assert front_a == front_b
+
+    def test_area_objective_disabled(self, tiny_dataset_module):
+        x_train, y_train, _, _ = tiny_dataset_module
+        config = GAConfig(population_size=12, generations=4, seed=0)
+        result = GATrainer((4, 3, 2), ga_config=config).train(
+            x_train, y_train, area_objective=False
+        )
+        assert len(result.estimated_front) >= 1
+
+    def test_constraint_fallback_when_infeasible(self, tiny_dataset_module):
+        # An impossible baseline accuracy makes every candidate infeasible;
+        # the trainer must still return a usable front.
+        x_train, y_train, _, _ = tiny_dataset_module
+        config = GAConfig(population_size=8, generations=2, seed=0, max_accuracy_loss=0.0)
+        result = GATrainer((4, 3, 2), ga_config=config).train(
+            x_train, y_train, baseline_accuracy=2.0
+        )
+        assert len(result.estimated_front) >= 1

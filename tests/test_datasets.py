@@ -1,0 +1,191 @@
+"""Tests for the dataset substrate (synthetic generation, preprocessing, registry)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.dataset import Dataset, DatasetSplit
+from repro.datasets.preprocessing import normalize_01, stratified_split
+from repro.datasets.registry import (
+    DATASET_SPECS,
+    available_datasets,
+    get_spec,
+    load_dataset,
+)
+from repro.datasets.synthetic import SyntheticSpec, generate_synthetic_classification
+
+
+class TestPreprocessing:
+    def test_normalize_to_unit_interval(self, rng):
+        features = rng.normal(size=(50, 3)) * 10 + 5
+        normalized = normalize_01(features)
+        assert normalized.min() >= 0.0 and normalized.max() <= 1.0
+        assert normalized.min(axis=0) == pytest.approx(np.zeros(3))
+        assert normalized.max(axis=0) == pytest.approx(np.ones(3))
+
+    def test_normalize_constant_column(self):
+        features = np.ones((10, 2))
+        assert not np.isnan(normalize_01(features)).any()
+
+    def test_normalize_with_reference_clips(self, rng):
+        train = rng.random((20, 2))
+        test = train * 3
+        normalized = normalize_01(test, reference=train)
+        assert normalized.max() <= 1.0
+
+    def test_normalize_rejects_1d(self):
+        with pytest.raises(ValueError):
+            normalize_01(np.zeros(5))
+
+    def test_stratified_split_preserves_class_ratio(self, rng):
+        labels = np.array([0] * 70 + [1] * 30)
+        features = rng.random((100, 2))
+        x_train, y_train, x_test, y_test = stratified_split(features, labels, 0.7, rng)
+        assert len(y_train) + len(y_test) == 100
+        assert np.mean(y_train == 0) == pytest.approx(0.7, abs=0.05)
+        assert np.mean(y_test == 0) == pytest.approx(0.7, abs=0.05)
+
+    def test_stratified_split_no_sample_lost(self, rng):
+        labels = rng.integers(0, 4, size=200)
+        features = rng.random((200, 5))
+        x_train, y_train, x_test, y_test = stratified_split(features, labels, 0.6, rng)
+        assert len(y_train) + len(y_test) == 200
+
+    def test_stratified_split_rejects_bad_fraction(self, rng):
+        with pytest.raises(ValueError):
+            stratified_split(np.zeros((4, 2)), np.zeros(4), 1.5, rng)
+
+    def test_stratified_split_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            stratified_split(np.zeros((4, 2)), np.zeros(5), 0.7, rng)
+
+
+class TestSyntheticGeneration:
+    def test_shapes_and_ranges(self, rng):
+        spec = SyntheticSpec(num_features=6, num_classes=3, num_samples=120)
+        features, labels = generate_synthetic_classification(spec, rng)
+        assert features.shape == (120, 6)
+        assert labels.shape == (120,)
+        assert features.min() >= 0.0 and features.max() <= 1.0
+        assert set(np.unique(labels)).issubset(set(range(3)))
+
+    def test_reproducible_with_seed(self):
+        spec = SyntheticSpec(num_features=4, num_classes=2, num_samples=50)
+        a = generate_synthetic_classification(spec, np.random.default_rng(5))
+        b = generate_synthetic_classification(spec, np.random.default_rng(5))
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_class_priors_respected(self, rng):
+        spec = SyntheticSpec(
+            num_features=4, num_classes=2, num_samples=4000, class_priors=(0.9, 0.1)
+        )
+        _, labels = generate_synthetic_classification(spec, rng)
+        assert np.mean(labels == 0) == pytest.approx(0.9, abs=0.03)
+
+    def test_separable_data_is_learnable(self, rng):
+        spec = SyntheticSpec(num_features=4, num_classes=2, num_samples=300, class_sep=4.0, noise=0.1)
+        features, labels = generate_synthetic_classification(spec, rng)
+        # A nearest-centroid rule should do well on well-separated data.
+        centroids = np.stack([features[labels == c].mean(axis=0) for c in range(2)])
+        predictions = np.argmin(
+            ((features[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2), axis=1
+        )
+        assert np.mean(predictions == labels) > 0.9
+
+    def test_label_noise_reduces_consistency(self, rng):
+        clean_spec = SyntheticSpec(num_features=4, num_classes=2, num_samples=500, label_noise=0.0)
+        noisy_spec = SyntheticSpec(num_features=4, num_classes=2, num_samples=500, label_noise=0.4)
+        clean = generate_synthetic_classification(clean_spec, np.random.default_rng(1))
+        noisy = generate_synthetic_classification(noisy_spec, np.random.default_rng(1))
+        assert not np.array_equal(clean[1], noisy[1])
+
+    def test_ordinal_noise_moves_to_neighbours(self, rng):
+        spec = SyntheticSpec(
+            num_features=3, num_classes=5, num_samples=100, label_noise=0.0, ordinal=True
+        )
+        features, labels = generate_synthetic_classification(spec, rng)
+        assert labels.min() >= 0 and labels.max() <= 4
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_features=0, num_classes=2, num_samples=10)
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_features=2, num_classes=1, num_samples=10)
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_features=2, num_classes=2, num_samples=10, label_noise=1.0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_features=2, num_classes=2, num_samples=10, class_priors=(0.9, 0.2))
+
+
+class TestDatasetContainers:
+    def test_split_quantization(self, rng):
+        split = DatasetSplit(features=rng.random((20, 3)), labels=rng.integers(0, 2, 20))
+        quantized = split.quantized(bits=4)
+        assert quantized.min() >= 0 and quantized.max() <= 15
+        assert split.num_samples == 20 and split.num_features == 3
+
+    def test_split_validation(self, rng):
+        with pytest.raises(ValueError):
+            DatasetSplit(features=rng.random(10), labels=np.zeros(10))
+        with pytest.raises(ValueError):
+            DatasetSplit(features=rng.random((10, 2)), labels=np.zeros(9))
+
+    def test_dataset_class_distribution(self, rng):
+        train = DatasetSplit(features=rng.random((80, 3)), labels=np.array([0] * 60 + [1] * 20))
+        test = DatasetSplit(features=rng.random((20, 3)), labels=np.array([0] * 15 + [1] * 5))
+        dataset = Dataset(name="toy", train=train, test=test, num_classes=2)
+        distribution = dataset.class_distribution()
+        assert distribution == pytest.approx([0.75, 0.25])
+
+
+class TestRegistry:
+    def test_five_datasets_registered(self):
+        assert available_datasets() == sorted(
+            ["breast_cancer", "cardio", "pendigits", "redwine", "whitewine"]
+        )
+
+    def test_specs_match_table1_topologies(self):
+        assert DATASET_SPECS["breast_cancer"].topology == (10, 3, 2)
+        assert DATASET_SPECS["cardio"].topology == (21, 3, 3)
+        assert DATASET_SPECS["pendigits"].topology == (16, 5, 10)
+        assert DATASET_SPECS["redwine"].topology == (11, 2, 6)
+        assert DATASET_SPECS["whitewine"].topology == (11, 4, 7)
+
+    def test_clock_periods(self):
+        assert get_spec("pendigits").clock_period_ms == 250.0
+        assert get_spec("breast_cancer").clock_period_ms == 200.0
+
+    def test_aliases_and_short_names(self):
+        assert get_spec("BC").name == "breast_cancer"
+        assert get_spec("red-wine").name == "redwine"
+        assert get_spec("WW").name == "whitewine"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            get_spec("mnist")
+
+    def test_load_dataset_shapes(self):
+        dataset = load_dataset("breast_cancer", seed=0, num_samples=200)
+        assert dataset.num_features == 10
+        assert dataset.num_classes == 2
+        assert dataset.train.num_samples + dataset.test.num_samples == 200
+        assert dataset.train.num_samples > dataset.test.num_samples
+
+    def test_load_dataset_deterministic(self):
+        a = load_dataset("redwine", seed=3, num_samples=150)
+        b = load_dataset("redwine", seed=3, num_samples=150)
+        assert np.array_equal(a.train.features, b.train.features)
+        assert np.array_equal(a.test.labels, b.test.labels)
+
+    def test_load_dataset_different_seeds_differ(self):
+        a = load_dataset("cardio", seed=1, num_samples=150)
+        b = load_dataset("cardio", seed=2, num_samples=150)
+        assert not np.array_equal(a.train.features, b.train.features)
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.sampled_from(sorted(DATASET_SPECS)))
+    def test_property_all_datasets_loadable(self, name):
+        dataset = load_dataset(name, seed=0, num_samples=120)
+        spec = get_spec(name)
+        assert dataset.num_features == spec.num_features
+        assert dataset.num_classes == spec.num_classes

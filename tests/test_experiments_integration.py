@@ -1,0 +1,125 @@
+"""Integration tests: the experiment harness end to end at smoke scale.
+
+These tests reproduce miniature versions of every table and figure,
+asserting the qualitative claims of the paper (our designs shrink area
+and power versus the baseline, the stochastic baseline loses accuracy,
+voltage scaling moves circuits to smaller power sources, GA training is
+slower than gradient training) rather than absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.pipeline import DatasetPipeline
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import run_table3
+
+TINY = ExperimentScale(
+    name="tiny",
+    datasets=("breast_cancer",),
+    max_samples=250,
+    gradient_epochs=40,
+    gradient_restarts=1,
+    ga_population=20,
+    ga_generations=10,
+    max_front_designs=8,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return DatasetPipeline(TINY)
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert get_scale("smoke").name == "smoke"
+        assert get_scale("ci").name == "ci"
+        assert get_scale("full").ga_generations > get_scale("ci").ga_generations
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+
+class TestPipeline:
+    def test_baseline_stage(self, pipeline):
+        result = pipeline.dataset("breast_cancer")
+        assert result.baseline.test_accuracy > 0.85
+        assert result.baseline.report.area_cm2 > 1.0
+        assert result.approximate is None
+
+    def test_caching(self, pipeline):
+        first = pipeline.dataset("breast_cancer")
+        second = pipeline.dataset("breast_cancer")
+        assert first is second
+
+    def test_approximate_stage(self, pipeline):
+        result = pipeline.approximate("breast_cancer")
+        approx = result.approximate
+        assert approx is not None
+        assert approx.selected is not None
+        assert len(approx.designs) >= 1
+        assert len(approx.true_front) >= 1
+
+
+class TestTable1:
+    def test_rows_and_formatting(self, pipeline):
+        rows = run_table1(pipeline)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["topology"] == "(10, 3, 2)"
+        assert row["accuracy"] > 0.85
+        assert row["area_cm2"] > 0
+        text = format_table1(rows)
+        assert "breast_cancer" in text
+
+
+class TestTable2:
+    def test_reduction_factors_exceed_one(self, pipeline):
+        rows = run_table2(pipeline)
+        row = rows[0]
+        # The headline claim: the approximate MLP is smaller and less
+        # power hungry than the exact baseline within the 5% loss budget
+        # (the paper reports >5x; at the tiny CI budget we require >1.5x).
+        assert row["area_reduction"] > 1.5
+        assert row["power_reduction"] > 1.5
+        assert row["accuracy"] >= row["baseline_accuracy"] - 0.07
+        assert "breast_cancer" in format_table2(rows)
+
+
+class TestFig4:
+    def test_methods_present_and_ours_beats_baseline(self, pipeline):
+        rows = run_fig4(pipeline)
+        methods = {row["method"] for row in rows}
+        assert {"ours", "tc23", "date21"}.issubset(methods)
+        ours = next(row for row in rows if row["method"] == "ours")
+        assert ours["norm_area"] < 1.0
+        assert ours["norm_power"] < 1.0
+        date21 = next(row for row in rows if row["method"] == "date21")
+        # The stochastic baseline loses far more accuracy than ours.
+        assert date21["accuracy"] <= ours["accuracy"]
+
+
+class TestFig5:
+    def test_voltage_scaling_moves_to_smaller_source(self, pipeline):
+        rows = run_fig5(pipeline)
+        ours = next(row for row in rows if row["design"] == "ours")
+        ours_low = next(row for row in rows if row["design"] == "ours_0v6")
+        baseline = next(row for row in rows if row["design"] == "baseline_micro20")
+        assert ours_low["power_mw"] < ours["power_mw"]
+        assert ours["power_mw"] < baseline["power_mw"]
+        assert ours_low["voltage"] == pytest.approx(0.6)
+
+
+class TestTable3:
+    def test_gradient_faster_than_ga(self, pipeline):
+        rows = run_table3(pipeline)
+        row = rows[0]
+        assert row["grad_seconds"] < row["ga_seconds"]
+        assert row["ga_evaluations"] == row["ga_axc_evaluations"]
+        # GA-AxC should not be drastically slower than the plain GA.
+        assert row["ga_axc_seconds"] < row["ga_seconds"] * 3 + 1.0

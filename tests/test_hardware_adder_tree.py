@@ -1,0 +1,165 @@
+"""Tests for the FA-counting adder-tree area model (eq. 2) and its fast twin."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx.config import ApproxConfig
+from repro.approx.mlp import ApproximateMLP
+from repro.approx.neuron import ApproximateNeuron
+from repro.approx.topology import Topology
+from repro.hardware.adder_tree import (
+    AdderTreeCost,
+    approximate_neuron_columns,
+    bit_positions,
+    count_adders_from_columns,
+    mlp_adder_cost,
+    mlp_fa_count,
+    neuron_adder_cost,
+)
+from repro.hardware.fast_area import (
+    fast_mlp_fa_count,
+    layer_column_counts,
+    reduce_columns_fa_count,
+)
+
+
+class TestBitPositions:
+    def test_examples(self):
+        assert bit_positions(0) == []
+        assert bit_positions(1) == [0]
+        assert bit_positions(0b1011) == [0, 1, 3]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bit_positions(-1)
+
+
+class TestColumns:
+    def test_single_connection_full_mask(self):
+        counts = approximate_neuron_columns(
+            masks=np.array([0b1111]), exponents=np.array([0]), bias=0, input_bits=4
+        )
+        assert np.array_equal(counts[:4], np.array([1, 1, 1, 1]))
+
+    def test_exponent_shifts_columns(self):
+        counts = approximate_neuron_columns(
+            masks=np.array([0b11]), exponents=np.array([2]), bias=0, input_bits=4
+        )
+        assert counts[2] == 1 and counts[3] == 1 and counts[0] == 0
+
+    def test_bias_bits_counted(self):
+        counts = approximate_neuron_columns(
+            masks=np.array([0]), exponents=np.array([0]), bias=0b101, input_bits=4
+        )
+        assert counts[0] == 1 and counts[2] == 1
+
+    def test_negative_bias_counts_magnitude(self):
+        counts = approximate_neuron_columns(
+            masks=np.array([0]), exponents=np.array([0]), bias=-3, input_bits=4
+        )
+        assert counts[0] == 1 and counts[1] == 1
+
+
+class TestCountAdders:
+    def test_three_bits_one_fa(self):
+        # Paper: "for every three constant bits in a column, one FA is eliminated";
+        # conversely three live bits in a column cost exactly one FA.
+        cost = count_adders_from_columns([3])
+        assert cost.full_adders == 1
+        assert cost.reduction_stages == 1
+
+    def test_two_bits_no_fa(self):
+        assert count_adders_from_columns([2]).full_adders == 0
+
+    def test_six_bits_two_fas_then_more(self):
+        cost = count_adders_from_columns([6])
+        # First stage: 2 FAs -> column has 2 bits + 2 carries next column.
+        assert cost.full_adders == 2
+
+    def test_monotonic_in_column_population(self):
+        small = count_adders_from_columns([4, 4, 4]).full_adders
+        large = count_adders_from_columns([8, 8, 8]).full_adders
+        assert large > small
+
+    def test_final_cpa_counts_two_bit_columns(self):
+        cost = count_adders_from_columns([2, 2], include_final_cpa=True)
+        assert cost.cpa_full_adders == 2
+        assert cost.total_full_adders == 2
+
+    def test_half_adders_only_when_enabled(self):
+        plain = count_adders_from_columns([5, 5])
+        with_ha = count_adders_from_columns([5, 5], use_half_adders=True)
+        assert plain.half_adders == 0
+        assert with_ha.half_adders >= 0
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            count_adders_from_columns([-1])
+
+    def test_cost_addition(self):
+        a = AdderTreeCost(full_adders=2, half_adders=1, cpa_full_adders=3, reduction_stages=2)
+        b = AdderTreeCost(full_adders=1, reduction_stages=5)
+        total = a + b
+        assert total.full_adders == 3
+        assert total.half_adders == 1
+        assert total.reduction_stages == 5
+        assert sum([a, b], AdderTreeCost()).full_adders == 3
+        assert a.fa_equivalent == pytest.approx(5.5)
+
+
+class TestNeuronAndMlpCost:
+    def test_pruning_reduces_fa_count(self, rng):
+        dense = ApproximateNeuron(
+            masks=np.full(8, 0b1111),
+            signs=np.ones(8, dtype=int),
+            exponents=np.zeros(8, dtype=int),
+            bias=0,
+            input_bits=4,
+        )
+        sparse = ApproximateNeuron(
+            masks=np.array([0b0001] * 8),
+            signs=np.ones(8, dtype=int),
+            exponents=np.zeros(8, dtype=int),
+            bias=0,
+            input_bits=4,
+        )
+        assert neuron_adder_cost(dense).full_adders > neuron_adder_cost(sparse).full_adders
+
+    def test_fully_pruned_mlp_has_zero_fa(self, small_topology, approx_config, rng):
+        mlp = ApproximateMLP.random(small_topology, approx_config, rng, mask_density=0.0)
+        for layer in mlp.layers:
+            layer.biases[:] = 0
+        assert mlp_fa_count(mlp) == 0
+
+    def test_mlp_cost_is_sum_of_layers(self, random_mlp):
+        total = mlp_adder_cost(random_mlp)
+        assert total.full_adders == mlp_fa_count(random_mlp)
+        assert total.full_adders > 0
+
+
+class TestFastArea:
+    def test_fast_matches_reference_random_mlps(self):
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            topology = Topology((int(rng.integers(2, 12)), int(rng.integers(2, 6)), int(rng.integers(2, 8))))
+            mlp = ApproximateMLP.random(topology, ApproxConfig(), rng, mask_density=float(rng.random()))
+            assert fast_mlp_fa_count(mlp) == mlp_fa_count(mlp)
+
+    def test_layer_column_counts_shape(self, random_mlp):
+        layer = random_mlp.layers[0]
+        counts = layer_column_counts(layer.masks, layer.exponents, layer.biases, layer.input_bits)
+        assert counts.shape[1] == layer.fan_out
+        assert counts.sum() > 0
+
+    def test_reduce_rejects_1d(self):
+        with pytest.raises(ValueError):
+            reduce_columns_fa_count(np.array([1, 2, 3]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_property_fast_equals_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        topology = Topology((int(rng.integers(1, 8)), int(rng.integers(1, 5)), int(rng.integers(2, 5))))
+        mlp = ApproximateMLP.random(topology, ApproxConfig(), rng, mask_density=float(rng.random()))
+        assert fast_mlp_fa_count(mlp) == mlp_fa_count(mlp)

@@ -1,0 +1,148 @@
+"""Tests for the EGFET library, CSD encoding and peripheral area models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.area import (
+    argmax_cell_counts,
+    constant_multiplier_columns,
+    csd_encode,
+    csd_nonzero_digits,
+    exact_neuron_adder_cost,
+    exact_neuron_columns,
+    merge_cell_counts,
+    qrelu_cell_counts,
+    register_cell_counts,
+)
+from repro.hardware.egfet import (
+    MIN_VOLTAGE,
+    NOMINAL_VOLTAGE,
+    CellSpec,
+    default_egfet_library,
+)
+
+
+class TestCsdEncoding:
+    @given(st.integers(min_value=-(2**15), max_value=2**15))
+    def test_property_csd_reconstructs_value(self, value):
+        digits = csd_encode(value)
+        assert sum(d * (1 << p) for p, d in digits) == value
+
+    @given(st.integers(min_value=-(2**15), max_value=2**15))
+    def test_property_no_adjacent_nonzero_digits(self, value):
+        positions = sorted(p for p, _ in csd_encode(value))
+        assert all(b - a >= 2 for a, b in zip(positions, positions[1:]))
+
+    def test_known_encodings(self):
+        assert csd_nonzero_digits(0) == 0
+        assert csd_nonzero_digits(1) == 1
+        assert csd_nonzero_digits(7) == 2   # 8 - 1
+        assert csd_nonzero_digits(255) == 2  # 256 - 1
+
+    def test_csd_digits_never_more_than_binary_ones(self):
+        for value in range(256):
+            assert csd_nonzero_digits(value) <= max(bin(value).count("1"), 1)
+
+
+class TestExactNeuronColumns:
+    def test_multiplier_columns_width_check(self):
+        with pytest.raises(ValueError):
+            constant_multiplier_columns(255, input_bits=4, width=4)
+
+    def test_single_weight_column_count(self):
+        columns = constant_multiplier_columns(1, input_bits=4, width=10)
+        assert columns.sum() == 4
+
+    def test_zero_weight_contributes_nothing(self):
+        columns = exact_neuron_columns([0, 0], input_bits=4, bias_code=0)
+        assert columns.sum() == 0
+
+    def test_larger_weights_cost_more(self):
+        cheap = exact_neuron_adder_cost([1, 1, 1], input_bits=4)
+        expensive = exact_neuron_adder_cost([85, 85, 85], input_bits=4)  # many CSD digits
+        assert expensive.total_full_adders > cheap.total_full_adders
+
+    def test_bias_included(self):
+        without = exact_neuron_columns([3], input_bits=4, bias_code=0).sum()
+        with_bias = exact_neuron_columns([3], input_bits=4, bias_code=255).sum()
+        assert with_bias > without
+
+
+class TestEgfetLibrary:
+    def test_default_library_cells(self):
+        library = default_egfet_library()
+        for cell in ("INV", "NAND2", "XOR2", "FA", "HA", "DFF", "MUX2"):
+            spec = library.cell(cell)
+            assert isinstance(spec, CellSpec)
+            assert spec.area_cm2 > 0 and spec.power_mw > 0 and spec.delay_ms > 0
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            default_egfet_library().cell("NAND17")
+
+    def test_fa_is_several_gate_equivalents(self):
+        library = default_egfet_library()
+        assert 5 < library.gate_equivalents("FA") < 12
+
+    def test_power_density_matches_baseline_ratio(self):
+        # Table I shows ~3.3-4.2 mW/cm2; the library is calibrated inside
+        # that window.
+        library = default_egfet_library()
+        spec = library.cell("FA")
+        assert 3.0 <= spec.power_mw / spec.area_cm2 <= 4.5
+
+    def test_voltage_power_scaling_quadratic(self):
+        library = default_egfet_library()
+        assert library.voltage_power_factor(1.0) == pytest.approx(1.0)
+        assert library.voltage_power_factor(0.6) == pytest.approx(0.36)
+
+    def test_voltage_below_minimum_rejected(self):
+        library = default_egfet_library()
+        with pytest.raises(ValueError):
+            library.voltage_power_factor(0.3)
+        with pytest.raises(ValueError):
+            library.power("FA", voltage=-1.0)
+
+    def test_delay_increases_at_low_voltage(self):
+        library = default_egfet_library()
+        assert library.delay("FA", voltage=MIN_VOLTAGE) > library.delay("FA", voltage=NOMINAL_VOLTAGE)
+
+    def test_area_and_power_scale_with_count(self):
+        library = default_egfet_library()
+        assert library.area("FA", 10) == pytest.approx(10 * library.area("FA"))
+        assert library.power("FA", 10) == pytest.approx(10 * library.power("FA"))
+
+    def test_cellspec_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CellSpec(area_cm2=-1, power_mw=0, delay_ms=0)
+
+
+class TestPeripheralCounts:
+    def test_qrelu_counts_scale_with_excess_bits(self):
+        small = qrelu_cell_counts(acc_bits=9, shift=0, out_bits=8)
+        large = qrelu_cell_counts(acc_bits=16, shift=0, out_bits=8)
+        assert large["OR2"] > small["OR2"]
+
+    def test_qrelu_rejects_bad_out_bits(self):
+        with pytest.raises(ValueError):
+            qrelu_cell_counts(8, 0, 0)
+
+    def test_argmax_single_class_is_free(self):
+        assert argmax_cell_counts(1, 10) == {}
+
+    def test_argmax_scales_with_classes(self):
+        two = sum(argmax_cell_counts(2, 10).values())
+        ten = sum(argmax_cell_counts(10, 10).values())
+        assert ten > two
+
+    def test_argmax_rejects_zero_classes(self):
+        with pytest.raises(ValueError):
+            argmax_cell_counts(0, 8)
+
+    def test_register_counts(self):
+        assert register_cell_counts(40, 2) == {"DFF": 42.0}
+
+    def test_merge_cell_counts(self):
+        merged = merge_cell_counts({"FA": 2.0}, {"FA": 3.0, "INV": 1.0})
+        assert merged == {"FA": 5.0, "INV": 1.0}

@@ -1,0 +1,175 @@
+"""Tests for the gate-level netlist, logic simulator and Verilog generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx.config import ApproxConfig
+from repro.approx.mlp import ApproximateMLP
+from repro.approx.neuron import ApproximateNeuron
+from repro.approx.topology import Topology
+from repro.hardware.gates import GATE_FUNCTIONS, Gate, gate_output_count
+from repro.hardware.netlist import build_neuron_netlist
+from repro.hardware.simulator import simulate, simulate_neuron_netlist, verify_neuron_netlist
+from repro.rtl.testbench import generate_testbench
+from repro.rtl.verilog import generate_mlp_verilog, generate_neuron_expression
+
+
+class TestGates:
+    def test_full_adder_truth_table(self):
+        fa = GATE_FUNCTIONS["FA"]
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    s, carry = fa(a, b, c)
+                    assert s + 2 * carry == a + b + c
+
+    def test_half_adder_truth_table(self):
+        ha = GATE_FUNCTIONS["HA"]
+        for a in (0, 1):
+            for b in (0, 1):
+                s, carry = ha(a, b)
+                assert s + 2 * carry == a + b
+
+    def test_mux(self):
+        mux = GATE_FUNCTIONS["MUX2"]
+        assert mux(0, 1, 0) == (0,)
+        assert mux(0, 1, 1) == (1,)
+
+    def test_gate_validation(self):
+        with pytest.raises(ValueError):
+            Gate(gate_type="FOO", inputs=(0,), outputs=(1,))
+        with pytest.raises(ValueError):
+            Gate(gate_type="AND2", inputs=(0,), outputs=(1,))
+        with pytest.raises(ValueError):
+            Gate(gate_type="FA", inputs=(0, 1, 2), outputs=(3,))
+
+    def test_output_counts(self):
+        assert gate_output_count("FA") == 2
+        assert gate_output_count("AND2") == 1
+        with pytest.raises(KeyError):
+            gate_output_count("BAD")
+
+
+def make_neuron(rng, fan_in=4, input_bits=4):
+    return ApproximateNeuron(
+        masks=rng.integers(0, 1 << input_bits, size=fan_in),
+        signs=rng.choice([-1, 1], size=fan_in),
+        exponents=rng.integers(0, 5, size=fan_in),
+        bias=int(rng.integers(-64, 64)),
+        input_bits=input_bits,
+    )
+
+
+class TestNetlistSimulation:
+    def test_positive_only_neuron(self):
+        neuron = ApproximateNeuron(
+            masks=np.array([0b1111, 0b1111]),
+            signs=np.array([1, 1]),
+            exponents=np.array([0, 1]),
+            bias=3,
+            input_bits=4,
+        )
+        results = simulate_neuron_netlist(neuron, [[5, 7], [0, 0], [15, 15]])
+        assert results == [5 + 14 + 3, 3, 15 + 30 + 3]
+
+    def test_negative_sign_neuron(self):
+        neuron = ApproximateNeuron(
+            masks=np.array([0b1111]),
+            signs=np.array([-1]),
+            exponents=np.array([0]),
+            bias=0,
+            input_bits=4,
+        )
+        assert simulate_neuron_netlist(neuron, [[9]]) == [-9]
+
+    def test_masked_bits_ignored(self):
+        neuron = ApproximateNeuron(
+            masks=np.array([0b1010]),
+            signs=np.array([1]),
+            exponents=np.array([0]),
+            bias=0,
+            input_bits=4,
+        )
+        assert simulate_neuron_netlist(neuron, [[0b1111]]) == [0b1010]
+
+    def test_verify_random_neurons(self, rng):
+        for _ in range(5):
+            assert verify_neuron_netlist(make_neuron(rng), rng=rng, num_vectors=8)
+
+    def test_simulate_missing_input_raises(self, rng):
+        neuron = make_neuron(rng)
+        netlist = build_neuron_netlist(neuron)
+        with pytest.raises(KeyError):
+            simulate(netlist, {})
+
+    def test_simulate_rejects_out_of_range_value(self, rng):
+        neuron = make_neuron(rng, fan_in=1)
+        netlist = build_neuron_netlist(neuron)
+        with pytest.raises(ValueError):
+            simulate(netlist, {"x0": 16})
+
+    def test_netlist_cell_counts_nonempty(self, rng):
+        netlist = build_neuron_netlist(make_neuron(rng))
+        counts = netlist.cell_counts()
+        assert netlist.num_gates == sum(counts.values())
+        assert netlist.num_gates > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_property_netlist_matches_model(self, seed):
+        rng = np.random.default_rng(seed)
+        neuron = make_neuron(rng, fan_in=int(rng.integers(1, 6)))
+        assert verify_neuron_netlist(neuron, rng=rng, num_vectors=6)
+
+
+class TestVerilogGeneration:
+    @pytest.fixture
+    def mlp(self, rng):
+        return ApproximateMLP.random(Topology((4, 3, 2)), ApproxConfig(), rng, mask_density=0.7)
+
+    def test_module_structure(self, mlp):
+        text = generate_mlp_verilog(mlp, module_name="bc_mlp")
+        assert text.startswith("// Automatically generated")
+        assert "module bc_mlp (" in text
+        assert text.rstrip().endswith("endmodule")
+        assert text.count("input  wire") == 4
+        assert "class_index" in text
+
+    def test_hardwired_constants_present(self, mlp):
+        text = generate_mlp_verilog(mlp)
+        layer = mlp.layers[0]
+        nonzero = np.flatnonzero(layer.masks[:, 0])
+        if nonzero.size:
+            i = int(nonzero[0])
+            assert f"in{i} & 4'd{int(layer.masks[i, 0])}" in text
+
+    def test_neuron_expression_zero_when_pruned(self, rng):
+        mlp = ApproximateMLP.random(Topology((3, 2, 2)), ApproxConfig(), rng, mask_density=0.0)
+        for layer in mlp.layers:
+            layer.biases[:] = 0
+        expr = generate_neuron_expression(mlp, 0, 0, "in")
+        assert "&" not in expr
+
+    def test_every_neuron_has_a_wire(self, mlp):
+        text = generate_mlp_verilog(mlp)
+        for j in range(3):
+            assert f"acc_l0_n{j}" in text
+        for j in range(2):
+            assert f"acc_l1_n{j}" in text
+
+    def test_testbench_contains_golden_predictions(self, mlp, rng):
+        vectors = rng.integers(0, 16, size=(5, 4))
+        expected = mlp.predict(vectors)
+        text = generate_testbench(mlp, vectors=vectors)
+        assert "TESTBENCH PASSED" in text
+        for value in expected:
+            assert f"'d{int(value)}" in text
+
+    def test_testbench_random_vectors(self, mlp):
+        text = generate_testbench(mlp, num_random_vectors=3)
+        assert text.count("#1;") == 3
+
+    def test_testbench_rejects_bad_vector_shape(self, mlp):
+        with pytest.raises(ValueError):
+            generate_testbench(mlp, vectors=np.zeros((2, 7), dtype=int))

@@ -1,0 +1,78 @@
+"""Tests for the fixed-point format substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.quant.fixed_point import FixedPointFormat, dequantize_fixed, quantize_fixed
+
+
+class TestFixedPointFormat:
+    def test_basic_properties_q8_7(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=7, signed=True)
+        assert fmt.integer_bits == 0
+        assert fmt.scale == pytest.approx(1 / 128)
+        assert fmt.min_code == -128
+        assert fmt.max_code == 127
+        assert fmt.min_value == pytest.approx(-1.0)
+        assert fmt.max_value == pytest.approx(127 / 128)
+
+    def test_unsigned_format_range(self):
+        fmt = FixedPointFormat(total_bits=4, frac_bits=0, signed=False)
+        assert fmt.min_code == 0
+        assert fmt.max_code == 15
+        assert fmt.integer_bits == 4
+
+    def test_invalid_total_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=0, frac_bits=0)
+
+    def test_invalid_frac_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=4, frac_bits=-1)
+
+    def test_frac_exceeding_total(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=4, frac_bits=5)
+
+    def test_quantize_saturates(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=7)
+        codes = fmt.quantize(np.array([-10.0, 10.0]))
+        assert codes[0] == fmt.min_code
+        assert codes[1] == fmt.max_code
+
+    def test_quantize_rounds_to_nearest(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=4)
+        assert fmt.quantize(np.array([0.26]))[0] == 4  # 0.25 grid
+        assert fmt.quantize(np.array([0.24]))[0] == 4
+
+    def test_dequantize_inverse_on_grid(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=5)
+        codes = np.arange(fmt.min_code, fmt.max_code + 1)
+        assert np.array_equal(fmt.quantize(fmt.dequantize(codes)), codes)
+
+    def test_roundtrip_error_bounded_by_half_lsb(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=6)
+        values = np.linspace(fmt.min_value, fmt.max_value, 101)
+        recon = fmt.roundtrip(values)
+        assert np.max(np.abs(recon - values)) <= fmt.scale / 2 + 1e-12
+
+    def test_representable(self):
+        fmt = FixedPointFormat(total_bits=4, frac_bits=0)
+        assert fmt.representable(np.array([0, 7, -8])).all()
+        assert not fmt.representable(np.array([8])).any()
+
+    def test_functional_wrappers(self):
+        fmt = FixedPointFormat(total_bits=6, frac_bits=2)
+        values = np.array([0.5, -1.25])
+        codes = quantize_fixed(values, fmt)
+        assert np.allclose(dequantize_fixed(codes, fmt), values)
+
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+    def test_property_quantize_within_bounds(self, total_bits, value):
+        fmt = FixedPointFormat(total_bits=total_bits, frac_bits=total_bits // 2)
+        code = fmt.quantize(np.array([value]))[0]
+        assert fmt.min_code <= code <= fmt.max_code

@@ -1,0 +1,82 @@
+"""Tests for input/weight quantizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.quant.quantizers import (
+    InputQuantizer,
+    UniformQuantizer,
+    quantize_inputs,
+    quantize_weights_fixed,
+)
+
+
+class TestUniformQuantizer:
+    def test_levels_and_step(self):
+        quantizer = UniformQuantizer(bits=4, lo=0.0, hi=1.0)
+        assert quantizer.levels == 16
+        assert quantizer.max_code == 15
+        assert quantizer.step == pytest.approx(1 / 15)
+
+    def test_endpoints_map_to_extremes(self):
+        quantizer = UniformQuantizer(bits=4)
+        assert quantizer.quantize(np.array([0.0]))[0] == 0
+        assert quantizer.quantize(np.array([1.0]))[0] == 15
+
+    def test_out_of_range_saturates(self):
+        quantizer = UniformQuantizer(bits=4)
+        assert quantizer.quantize(np.array([-0.5]))[0] == 0
+        assert quantizer.quantize(np.array([2.0]))[0] == 15
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(bits=4, lo=1.0, hi=0.0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(bits=0)
+
+    def test_dequantize_roundtrip_on_grid(self):
+        quantizer = UniformQuantizer(bits=3, lo=-1.0, hi=1.0)
+        codes = np.arange(8)
+        assert np.array_equal(quantizer.quantize(quantizer.dequantize(codes)), codes)
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_property_codes_in_range(self, value):
+        code = quantize_inputs(np.array([value]), bits=4)[0]
+        assert 0 <= code <= 15
+
+
+class TestInputQuantizer:
+    def test_default_bits(self):
+        assert InputQuantizer().bits == 4
+
+    def test_quantize_inputs_matches_class(self):
+        values = np.linspace(0, 1, 17)
+        assert np.array_equal(quantize_inputs(values), InputQuantizer().quantize(values))
+
+
+class TestWeightQuantization:
+    def test_zero_weights(self):
+        codes, fmt = quantize_weights_fixed(np.zeros((3, 2)))
+        assert np.all(codes == 0)
+        assert fmt.total_bits == 8
+
+    def test_max_weight_representable(self):
+        weights = np.array([0.5, -0.25, 0.75])
+        codes, fmt = quantize_weights_fixed(weights, total_bits=8)
+        assert np.all(fmt.representable(codes))
+        assert np.allclose(fmt.dequantize(codes), weights, atol=fmt.scale)
+
+    def test_explicit_frac_bits(self):
+        weights = np.array([1.0, -1.0])
+        codes, fmt = quantize_weights_fixed(weights, total_bits=8, frac_bits=4)
+        assert fmt.frac_bits == 4
+        assert codes[0] == 16
+        assert codes[1] == -16
+
+    def test_large_weights_get_integer_bits(self):
+        weights = np.array([5.0, -3.0])
+        codes, fmt = quantize_weights_fixed(weights, total_bits=8)
+        assert np.allclose(fmt.dequantize(codes), weights, atol=fmt.scale)
