@@ -37,6 +37,20 @@ def test_bench_candidate_inference(benchmark, mlp, batch):
     assert scores.shape == (1024, 10)
 
 
+def test_bench_candidate_inference_reference(benchmark, mlp, batch):
+    """Naive 3-D accumulate forward pass, kept for speedup tracking."""
+
+    def slow_forward():
+        activations = np.asarray(batch, dtype=np.int64)
+        for layer in mlp.layers:
+            acc = layer.accumulate(activations, slow=True)
+            activations = acc if layer.activation is None else layer.activation(acc)
+        return activations
+
+    scores = benchmark(slow_forward)
+    assert np.array_equal(scores, mlp.forward(batch))
+
+
 def test_bench_fast_fa_count(benchmark, mlp):
     """Vectorized FA counting (the GA area objective)."""
     count = benchmark(lambda: fast_mlp_fa_count(mlp))

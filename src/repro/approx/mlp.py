@@ -16,11 +16,16 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.approx.config import ApproxConfig
-from repro.approx.layer import ApproximateLayer, worst_case_shift
+from repro.approx.layer import ApproximateLayer, expand_activation_bits, worst_case_shift
 from repro.approx.topology import Topology
 from repro.quant.qrelu import QReLU
 
-__all__ = ["ApproximateMLP", "default_shifts"]
+__all__ = [
+    "ApproximateMLP",
+    "default_shifts",
+    "forward_population",
+    "accuracy_population",
+]
 
 
 def default_shifts(topology: Topology, config: ApproxConfig) -> List[int]:
@@ -130,8 +135,13 @@ class ApproximateMLP:
         exponents: Sequence[np.ndarray],
         biases: Sequence[np.ndarray],
         shifts: Optional[Sequence[int]] = None,
+        validate: bool = True,
     ) -> "ApproximateMLP":
-        """Assemble an MLP from per-layer parameter arrays."""
+        """Assemble an MLP from per-layer parameter arrays.
+
+        ``validate=False`` skips the per-layer value-range checks; only
+        for producers whose parameters are in-bounds by construction.
+        """
         shifts = list(shifts) if shifts is not None else default_shifts(topology, config)
         layers: List[ApproximateLayer] = []
         for layer_index in range(topology.num_layers):
@@ -147,6 +157,7 @@ class ApproximateMLP:
                     biases=np.asarray(biases[layer_index]),
                     input_bits=config.layer_input_bits(layer_index),
                     activation=activation,
+                    validate=validate,
                 )
             )
         return cls(topology=topology, config=config, layers=layers)
@@ -251,9 +262,95 @@ class ApproximateMLP:
             shifts=payload.get("shifts"),
         )
 
+    @staticmethod
+    def _population_planes(layers: List[ApproximateLayer]) -> np.ndarray:
+        """Stacked bit-plane matrices of one layer position, ``(P, K, fan_out)``.
+
+        The stack dtype is the weakest type that keeps every candidate's
+        matmul exact: float32 when every layer qualifies, float64 when
+        all at least allow a float path, int64 otherwise.
+        """
+        for layer in layers:
+            layer.bit_planes  # materialize caches
+        float_planes = [layer._float_planes for layer in layers]
+        if any(planes is None for planes in float_planes):
+            return np.stack([layer.bit_planes for layer in layers])
+        if all(planes.dtype == np.float32 for planes in float_planes):
+            return np.stack(float_planes)
+        return np.stack([planes.astype(np.float64, copy=False) for planes in float_planes])
+
     def copy(self) -> "ApproximateMLP":
-        """Deep copy of the model."""
-        return ApproximateMLP.from_dict(self.to_dict())
+        """Deep copy of the model (copies the weight arrays directly)."""
+        layers = [
+            ApproximateLayer(
+                masks=layer.masks.copy(),
+                signs=layer.signs.copy(),
+                exponents=layer.exponents.copy(),
+                biases=layer.biases.copy(),
+                input_bits=layer.input_bits,
+                activation=layer.activation,
+            )
+            for layer in self.layers
+        ]
+        return ApproximateMLP(topology=self.topology, config=self.config, layers=layers)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)
+
+
+def forward_population(models: Sequence[ApproximateMLP], x: np.ndarray) -> np.ndarray:
+    """Forward a shared input batch through a whole population at once.
+
+    All models must share one topology/config (the GA case: one decoded
+    candidate per chromosome of a population).  Each layer position
+    becomes a single batched matmul of the stacked bit-plane matrices —
+    ``(P, n, K) @ (P, K, fan_out)`` — instead of ``P`` separate passes,
+    and is bitwise identical to calling :meth:`ApproximateMLP.forward`
+    per model.
+
+    Returns
+    -------
+    Output accumulators of shape ``(P, n_samples, num_outputs)``.
+    """
+    if not models:
+        raise ValueError("forward_population needs at least one model")
+    sizes = models[0].topology.sizes
+    config = models[0].config
+    if any(m.topology.sizes != sizes or m.config != config for m in models):
+        raise ValueError("forward_population requires a homogeneous population")
+    x = np.asarray(x, dtype=np.int64)
+    if x.ndim == 1:
+        x = x[None, :]
+
+    activations: np.ndarray = x  # (n, fan_in), promoted to (P, n, ·) below
+    num_layers = len(models[0].layers)
+    for layer_index in range(num_layers):
+        layers = [m.layers[layer_index] for m in models]
+        first = layers[0]
+        planes = ApproximateMLP._population_planes(layers)  # (P, K, fan_out)
+        x_bits = expand_activation_bits(activations, first.plane_bits)
+        if planes.dtype != np.int64:
+            acc = np.matmul(x_bits.astype(planes.dtype), planes).astype(np.int64)
+        else:
+            acc = np.matmul(x_bits.astype(np.int64), planes)
+        biases = np.stack([layer.biases for layer in layers])  # (P, fan_out)
+        acc += biases[:, None, :]
+        if first.activation is None:
+            activations = acc
+        else:
+            shifts = np.array(
+                [layer.activation.shift for layer in layers], dtype=np.int64
+            )
+            shifted = acc >> shifts[:, None, None]
+            activations = np.clip(shifted, 0, first.activation.max_value)
+    return activations
+
+
+def accuracy_population(
+    models: Sequence[ApproximateMLP], x: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """Classification accuracy of every model of a population at once."""
+    y = np.asarray(y)
+    scores = forward_population(models, x)  # (P, n, num_outputs)
+    predictions = np.argmax(scores, axis=2)
+    return (predictions == y[None, :]).mean(axis=1)

@@ -152,13 +152,21 @@ class ChromosomeLayout:
     # ------------------------------------------------------------------
     # Decode / encode
     # ------------------------------------------------------------------
-    def decode(self, chromosome: np.ndarray) -> ApproximateMLP:
-        """Build the :class:`ApproximateMLP` described by a chromosome."""
+    def decode(
+        self, chromosome: np.ndarray, precompute_bit_planes: bool = True
+    ) -> ApproximateMLP:
+        """Build the :class:`ApproximateMLP` described by a chromosome.
+
+        By default the decoded layers' bit-plane weight matrices are
+        built eagerly, so the fitness evaluator's forward passes start
+        from fully prepared layers (the planes are built exactly once
+        per decode either way; see :attr:`ApproximateLayer.bit_planes`).
+        """
         chromosome = np.asarray(chromosome, dtype=np.int64)
-        if chromosome.shape != (self.num_genes,):
-            raise ValueError(
-                f"chromosome must have shape ({self.num_genes},), got {chromosome.shape}"
-            )
+        # One vectorized shape+bounds check here replaces the per-layer
+        # value validation (skipped below), so out-of-bounds gene
+        # vectors still raise instead of decoding into corrupt models.
+        self.validate(chromosome)
         masks: List[np.ndarray] = []
         signs: List[np.ndarray] = []
         exponents: List[np.ndarray] = []
@@ -181,7 +189,10 @@ class ChromosomeLayout:
             for idx, value in enumerate(learned.tolist()):
                 shifts[idx] = int(value)
 
-        return ApproximateMLP.from_parameters(
+        # Genes are clipped to their bounds by every producer (random
+        # init, operators, encode), so the decoded parameter ranges are
+        # valid by construction.
+        mlp = ApproximateMLP.from_parameters(
             topology=self.topology,
             config=self.config,
             masks=masks,
@@ -189,7 +200,12 @@ class ChromosomeLayout:
             exponents=exponents,
             biases=biases,
             shifts=shifts,
+            validate=False,
         )
+        if precompute_bit_planes:
+            for layer in mlp.layers:
+                layer.bit_planes
+        return mlp
 
     def encode(self, mlp: ApproximateMLP) -> np.ndarray:
         """Flatten an :class:`ApproximateMLP` into a gene vector."""

@@ -11,17 +11,25 @@ and, when a baseline accuracy is supplied, a constraint violation equal
 to how far the candidate's accuracy loss exceeds the admissible bound
 (10 % during training, per Section IV-A).  The violation is used for
 constrained dominance in the NSGA-II selection.
+
+The evaluator is population-batched: :meth:`evaluate_population`
+deduplicates the batch and serves repeated genomes (elites, clones
+produced by crossover) from a ``chromosome.tobytes()``-keyed memo
+cache, so no chromosome is ever decoded and forwarded twice.  For large
+populations an opt-in process pool (``n_workers``) fans the unique
+evaluations out across cores.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.approx.mlp import accuracy_population
 from repro.core.chromosome import ChromosomeLayout
-from repro.hardware.fast_area import fast_mlp_fa_count
+from repro.hardware.fast_area import fast_mlp_fa_count, fast_population_fa_count
 
 __all__ = ["FitnessValues", "FitnessEvaluator"]
 
@@ -46,6 +54,20 @@ class FitnessValues:
         return self.constraint_violation <= 0.0
 
 
+#: Per-process evaluator used by the worker pool (set by the initializer).
+_WORKER_EVALUATOR: Optional["FitnessEvaluator"] = None
+
+
+def _init_worker(payload: dict) -> None:
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = FitnessEvaluator(**payload)
+
+
+def _evaluate_chunk(chromosomes: List[np.ndarray]) -> List[FitnessValues]:
+    assert _WORKER_EVALUATOR is not None, "worker pool not initialized"
+    return _WORKER_EVALUATOR._compute_batch(chromosomes)
+
+
 class FitnessEvaluator:
     """Evaluates chromosomes on accuracy and hardware area.
 
@@ -63,6 +85,22 @@ class FitnessEvaluator:
         marked infeasible (constrained NSGA-II).
     max_accuracy_loss:
         Admissible accuracy loss during training (paper: 10 %).
+    n_workers:
+        When > 1, unique chromosomes of a population batch are evaluated
+        on a process pool of this many workers.  0/1 keeps everything in
+        process (the right choice for the small CI-scale populations).
+    max_cache_size:
+        Bound on the memo cache; the oldest entries are evicted first.
+
+    Attributes
+    ----------
+    evaluations:
+        Number of fitness lookups requested (cache hits included).
+    cache_hits:
+        How many lookups were served from the memo cache.
+    fitness_computations:
+        Number of chromosomes actually decoded and forwarded
+        (``evaluations - cache_hits``).
     """
 
     def __init__(
@@ -72,6 +110,8 @@ class FitnessEvaluator:
         train_labels: np.ndarray,
         baseline_accuracy: Optional[float] = None,
         max_accuracy_loss: float = 0.10,
+        n_workers: int = 0,
+        max_cache_size: int = 250_000,
     ) -> None:
         self.layout = layout
         self.train_inputs = np.asarray(train_inputs, dtype=np.int64)
@@ -87,20 +127,32 @@ class FitnessEvaluator:
             )
         if max_accuracy_loss < 0:
             raise ValueError(f"max_accuracy_loss must be non-negative, got {max_accuracy_loss}")
+        if n_workers < 0:
+            raise ValueError(f"n_workers must be non-negative, got {n_workers}")
+        if max_cache_size <= 0:
+            raise ValueError(f"max_cache_size must be positive, got {max_cache_size}")
         self.baseline_accuracy = baseline_accuracy
         self.max_accuracy_loss = max_accuracy_loss
+        self.n_workers = n_workers
+        self.max_cache_size = max_cache_size
         self.evaluations = 0
+        self.cache_hits = 0
+        self.fitness_computations = 0
+        self._cache: Dict[bytes, FitnessValues] = {}
+        self._pool = None
 
-    def evaluate(self, chromosome: np.ndarray) -> FitnessValues:
-        """Evaluate one chromosome."""
+    # ------------------------------------------------------------------
+    def compute(self, chromosome: np.ndarray) -> FitnessValues:
+        """Decode and evaluate one chromosome, bypassing the memo cache."""
         mlp = self.layout.decode(chromosome)
         accuracy = mlp.accuracy(self.train_inputs, self.train_labels)
-        area = float(fast_mlp_fa_count(mlp))
+        return self._make_values(accuracy, float(fast_mlp_fa_count(mlp)))
+
+    def _make_values(self, accuracy: float, area: float) -> FitnessValues:
         violation = 0.0
         if self.baseline_accuracy is not None:
             loss = self.baseline_accuracy - accuracy
             violation = max(0.0, loss - self.max_accuracy_loss)
-        self.evaluations += 1
         return FitnessValues(
             error=1.0 - accuracy,
             area=area,
@@ -108,6 +160,121 @@ class FitnessEvaluator:
             constraint_violation=violation,
         )
 
+    def evaluate(self, chromosome: np.ndarray) -> FitnessValues:
+        """Evaluate one chromosome (memoized)."""
+        chromosome = np.ascontiguousarray(chromosome, dtype=np.int64)
+        key = chromosome.tobytes()
+        self.evaluations += 1
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        values = self.compute(chromosome)
+        self.fitness_computations += 1
+        self._store(key, values)
+        return values
+
     def evaluate_population(self, population: Sequence[np.ndarray]) -> List[FitnessValues]:
-        """Evaluate every chromosome of a population."""
-        return [self.evaluate(chromosome) for chromosome in population]
+        """Evaluate every chromosome of a population.
+
+        The batch is deduplicated against the memo cache first; only the
+        unique, never-seen genomes are decoded and forwarded (optionally
+        on the worker pool).
+        """
+        chromosomes = [
+            np.ascontiguousarray(c, dtype=np.int64) for c in population
+        ]
+        keys = [c.tobytes() for c in chromosomes]
+        self.evaluations += len(keys)
+
+        # Resolve against a batch-local map so cache eviction while
+        # storing new results can never drop an entry we still need.
+        resolved: Dict[bytes, FitnessValues] = {}
+        pending: Dict[bytes, int] = {}
+        for index, key in enumerate(keys):
+            if key in resolved or key in pending:
+                self.cache_hits += 1
+                continue
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                resolved[key] = cached
+            else:
+                pending[key] = index
+
+        unique = [chromosomes[index] for index in pending.values()]
+        if unique:
+            computed = self._compute_batch(unique)
+            self.fitness_computations += len(unique)
+            for key, values in zip(pending.keys(), computed):
+                resolved[key] = values
+                self._store(key, values)
+        return [resolved[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    def _store(self, key: bytes, values: FitnessValues) -> None:
+        cache = self._cache
+        cache[key] = values
+        while len(cache) > self.max_cache_size:
+            cache.pop(next(iter(cache)))
+
+    def _compute_batch(self, chromosomes: List[np.ndarray]) -> List[FitnessValues]:
+        if self.n_workers > 1 and len(chromosomes) >= 2 * self.n_workers:
+            return self._compute_on_pool(chromosomes)
+        if len(chromosomes) == 1:
+            return [self.compute(chromosomes[0])]
+        return self._compute_vectorized(chromosomes)
+
+    def _compute_vectorized(self, chromosomes: List[np.ndarray]) -> List[FitnessValues]:
+        """Population-batched fitness: one batched forward pass and one
+        batched FA count cover the whole chromosome list (bitwise
+        identical to per-chromosome :meth:`compute`)."""
+        models = [self.layout.decode(c) for c in chromosomes]
+        accuracies = accuracy_population(models, self.train_inputs, self.train_labels)
+        areas = fast_population_fa_count(models)
+        return [
+            self._make_values(accuracy, float(area))
+            for accuracy, area in zip(accuracies.tolist(), areas.tolist())
+        ]
+
+    def _compute_on_pool(self, chromosomes: List[np.ndarray]) -> List[FitnessValues]:
+        pool = self._ensure_pool()
+        chunk = max(1, -(-len(chromosomes) // self.n_workers))
+        chunks = [
+            chromosomes[start : start + chunk]
+            for start in range(0, len(chromosomes), chunk)
+        ]
+        results: List[FitnessValues] = []
+        for part in pool.map(_evaluate_chunk, chunks):
+            results.extend(part)
+        return results
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            payload = {
+                "layout": self.layout,
+                "train_inputs": self.train_inputs,
+                "train_labels": self.train_labels,
+                "baseline_accuracy": self.baseline_accuracy,
+                "max_accuracy_loss": self.max_accuracy_loss,
+            }
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_init_worker,
+                initargs=(payload,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op when running in process)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "FitnessEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -5,6 +5,16 @@ Pareto front (Fig. 2); the hardware-analysis step then evaluates the
 front's members with the synthesis model to obtain the *true* front.
 This module provides the front bookkeeping shared by both steps plus the
 two-objective hypervolume indicator used in the convergence ablations.
+
+Both hot entry points exploit the two-objective structure: with points
+sorted by ``(error, area)`` a single prefix-minimum sweep identifies
+every dominated point, so :func:`pareto_front` runs in O(n log n)
+instead of the all-pairs O(n²), and :class:`ParetoArchive` keeps its
+points sorted by area (hence strictly decreasing error) so one bisect
+plus a contiguous-run deletion implements ``add``.  The original
+all-pairs routines are retained (:func:`pareto_front_reference`,
+``ParetoArchive(reference=True)``) as oracles for the equivalence
+tests.
 """
 
 from __future__ import annotations
@@ -16,7 +26,13 @@ import numpy as np
 
 from repro.core.nsga2 import dominates
 
-__all__ = ["ParetoPoint", "pareto_front", "hypervolume", "ParetoArchive"]
+__all__ = [
+    "ParetoPoint",
+    "pareto_front",
+    "pareto_front_reference",
+    "hypervolume",
+    "ParetoArchive",
+]
 
 
 @dataclass(frozen=True)
@@ -42,8 +58,58 @@ class ParetoPoint:
 def pareto_front(points: Iterable[ParetoPoint]) -> List[ParetoPoint]:
     """Non-dominated subset of ``points``, sorted by ascending area.
 
-    Duplicate objective vectors are collapsed to a single representative.
+    Duplicate objective vectors are collapsed to a single representative
+    (the first in input order).  Sort-and-sweep formulation: after
+    ordering by ``(error, area)``, a point is dominated iff some
+    strictly-smaller-error point has area no larger, or an equal-error
+    point has strictly smaller area — both are prefix minima.
     """
+    points = list(points)
+    n = len(points)
+    if n <= 1:
+        return list(points)
+    errors = np.array([p.error for p in points], dtype=np.float64)
+    areas = np.array([p.area for p in points], dtype=np.float64)
+    order = np.lexsort((areas, errors))
+    err_sorted = errors[order]
+    area_sorted = areas[order]
+
+    # Index of the first element of each equal-error group.
+    positions = np.arange(n)
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    is_start[1:] = err_sorted[1:] != err_sorted[:-1]
+    group_start = np.maximum.accumulate(np.where(is_start, positions, 0))
+    group_min_area = area_sorted[group_start]
+
+    # Minimum area among all points with strictly smaller error.
+    prefix_min = np.minimum.accumulate(area_sorted)
+    best_prev = np.full(n, np.inf)
+    nonzero = group_start > 0
+    best_prev[nonzero] = prefix_min[group_start[nonzero] - 1]
+
+    dominated_sorted = (best_prev <= area_sorted) | (area_sorted > group_min_area)
+    dominated = np.empty(n, dtype=bool)
+    dominated[order] = dominated_sorted
+
+    candidates = [points[i] for i in np.flatnonzero(~dominated)]
+    if len(candidates) > 1:
+        objs = np.array([[p.error, p.area] for p in candidates])
+        close = np.isclose(objs[:, None, :], objs[None, :, :]).all(axis=2)
+        kept_mask = np.zeros(len(candidates), dtype=bool)
+        front: List[ParetoPoint] = []
+        for i, candidate in enumerate(candidates):
+            if np.any(close[i] & kept_mask):
+                continue
+            kept_mask[i] = True
+            front.append(candidate)
+    else:
+        front = candidates
+    return sorted(front, key=lambda p: (p.area, p.error))
+
+
+def pareto_front_reference(points: Iterable[ParetoPoint]) -> List[ParetoPoint]:
+    """All-pairs reference implementation of :func:`pareto_front` (oracle)."""
     points = list(points)
     front: List[ParetoPoint] = []
     for candidate in points:
@@ -95,12 +161,21 @@ class ParetoArchive:
     The GA trainer feeds every evaluated individual into the archive;
     keeping the archive (rather than just the final population) mirrors
     the paper's practice of synthesizing the whole estimated Pareto set.
+
+    The points are maintained sorted by ``(area, error)``; for a clean
+    two-objective non-dominated set this means areas strictly increase
+    and errors strictly decrease, so ``add`` reduces to one bisect, a
+    predecessor dominance check, a near-duplicate scan of the immediate
+    neighbours, and the deletion of one contiguous run of newly
+    dominated points.  ``reference=True`` restores the original
+    all-pairs scan (the oracle used by the equivalence tests).
     """
 
-    def __init__(self, max_size: int = 256) -> None:
+    def __init__(self, max_size: int = 256, reference: bool = False) -> None:
         if max_size <= 0:
             raise ValueError(f"max_size must be positive, got {max_size}")
         self.max_size = max_size
+        self.reference = reference
         self._points: List[ParetoPoint] = []
 
     def __len__(self) -> int:
@@ -113,6 +188,57 @@ class ParetoArchive:
 
     def add(self, point: ParetoPoint) -> bool:
         """Insert ``point`` if it is not dominated; returns True if kept."""
+        if self.reference:
+            return self._add_reference(point)
+        return self._add_sweep(point)
+
+    def _add_sweep(self, point: ParetoPoint) -> bool:
+        points = self._points
+        error, area = float(point.error), float(point.area)
+        # Manual bisect on the (area, error) key; bisect_left's `key`
+        # parameter needs Python 3.10+ while this package supports 3.9.
+        lo, hi = 0, len(points)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            candidate = points[mid]
+            if (candidate.area, candidate.error) < (area, error):
+                lo = mid + 1
+            else:
+                hi = mid
+        pos = lo
+
+        # Any kept point with area <= ours and error <= ours dominates us
+        # (or duplicates us); with errors strictly decreasing the only
+        # candidate is the immediate predecessor.
+        if pos > 0 and points[pos - 1].error <= error:
+            return False
+        # Near-duplicate rejection, mirroring the reference's
+        # ``np.allclose(existing, point)``: only points whose area is
+        # within tolerance can match, and those are contiguous around pos.
+        objectives = point.objectives
+        for k in range(pos - 1, -1, -1):
+            if not np.isclose(points[k].area, area):
+                break
+            if np.allclose(points[k].objectives, objectives):
+                return False
+        for k in range(pos, len(points)):
+            if not np.isclose(points[k].area, area):
+                break
+            if np.allclose(points[k].objectives, objectives):
+                return False
+
+        # Points we dominate sit in one contiguous run: area >= ours
+        # (by sort position) and error >= ours (until errors drop below).
+        end = pos
+        while end < len(points) and points[end].error >= error:
+            end += 1
+        points[pos:end] = [point]
+        if len(points) > self.max_size:
+            self._thin()
+        return True
+
+    def _add_reference(self, point: ParetoPoint) -> bool:
+        """Original all-pairs ``add`` (oracle for the equivalence tests)."""
         for existing in self._points:
             if dominates(existing.objectives, point.objectives) or np.allclose(
                 existing.objectives, point.objectives
@@ -136,6 +262,10 @@ class ParetoArchive:
     def _thin(self) -> None:
         """Drop the most crowded interior points until the archive fits."""
         while len(self._points) > self.max_size:
+            if len(self._points) <= 2:
+                # No interior points to thin; drop the largest-area end.
+                del self._points[-1]
+                continue
             # Keep extremes; remove the point whose neighbours are closest.
             areas = np.array([p.area for p in self._points])
             gaps = np.diff(areas)

@@ -54,17 +54,26 @@ class GAConfig:
     learn_shifts: bool = True
     archive_size: int = 256
     seed: int = 0
+    n_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.population_size < 4:
             raise ValueError("population_size must be at least 4")
         if self.generations < 1:
             raise ValueError("generations must be at least 1")
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be non-negative")
 
 
 @dataclass(frozen=True)
 class GenerationStats:
-    """Progress record of one generation."""
+    """Progress record of one generation.
+
+    ``evaluations`` counts fitness lookups requested so far (cache hits
+    included), ``cache_hits`` how many of those were served from the
+    evaluator's memo cache, and ``fitness_computations`` how many
+    chromosomes were actually decoded and forwarded.
+    """
 
     generation: int
     best_error: float
@@ -74,6 +83,8 @@ class GenerationStats:
     hypervolume: float
     archive_size: int
     evaluations: int
+    cache_hits: int = 0
+    fitness_computations: int = 0
 
 
 @dataclass
@@ -180,6 +191,7 @@ class GATrainer:
             train_labels=train_labels,
             baseline_accuracy=baseline_accuracy,
             max_accuracy_loss=config.max_accuracy_loss,
+            n_workers=config.n_workers,
         )
         initializer = PopulationInitializer(
             layout=self.layout,
@@ -190,6 +202,27 @@ class GATrainer:
         archive = ParetoArchive(max_size=config.archive_size)
         history: List[GenerationStats] = []
 
+        try:
+            return self._run(
+                config, rng, evaluator, initializer, archive, history,
+                seed_model, area_objective, baseline_accuracy, start,
+            )
+        finally:
+            evaluator.close()
+
+    def _run(
+        self,
+        config: GAConfig,
+        rng: np.random.Generator,
+        evaluator: FitnessEvaluator,
+        initializer: PopulationInitializer,
+        archive: ParetoArchive,
+        history: List[GenerationStats],
+        seed_model: Optional[FloatMLP],
+        area_objective: bool,
+        baseline_accuracy: Optional[float],
+        start: float,
+    ) -> GAResult:
         population = initializer.build(config.population_size, rng)
         fitnesses = evaluator.evaluate_population(population)
         self._update_archive(archive, population, fitnesses)
@@ -220,9 +253,7 @@ class GATrainer:
                 area_objective,
             )
             history.append(
-                self._stats(
-                    generation, fitnesses, archive, evaluator.evaluations, hv_reference
-                )
+                self._stats(generation, fitnesses, archive, evaluator, hv_reference)
             )
 
         if len(archive) == 0:
@@ -314,7 +345,7 @@ class GATrainer:
         generation: int,
         fitnesses: Sequence[FitnessValues],
         archive: ParetoArchive,
-        evaluations: int,
+        evaluator: FitnessEvaluator,
         reference: tuple[float, float],
     ) -> GenerationStats:
         errors = np.array([fit.error for fit in fitnesses])
@@ -327,5 +358,7 @@ class GATrainer:
             mean_area=float(areas.mean()),
             hypervolume=hypervolume(archive.points, reference),
             archive_size=len(archive),
-            evaluations=evaluations,
+            evaluations=evaluator.evaluations,
+            cache_hits=evaluator.cache_hits,
+            fitness_computations=evaluator.fitness_computations,
         )

@@ -30,6 +30,8 @@ class ExperimentScale:
         Budget of the float (baseline) training.
     ga_population / ga_generations:
         Budget of the genetic training.
+    ga_workers:
+        Process-pool size for the fitness evaluation (0 = in-process).
     max_front_designs:
         How many estimated-front members to synthesize in the hardware
         analysis step.
@@ -50,6 +52,7 @@ class ExperimentScale:
     gradient_restarts: int = 3
     ga_population: int = 60
     ga_generations: int = 40
+    ga_workers: int = 0
     max_front_designs: Optional[int] = 40
     seed: int = 0
 

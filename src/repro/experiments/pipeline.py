@@ -141,6 +141,7 @@ class DatasetPipeline:
             population_size=self.scale.ga_population,
             generations=self.scale.ga_generations,
             seed=self.scale.seed,
+            n_workers=self.scale.ga_workers,
         )
         trainer = GATrainer(spec.mlp_topology, ga_config=ga_config)
         start = time.perf_counter()

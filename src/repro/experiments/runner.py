@@ -12,6 +12,7 @@ artifact of the paper (Table I/II/III, Fig. 4/5) plus the ablations.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Callable, Dict, List
 
@@ -57,9 +58,20 @@ def main(argv: List[str] | None = None) -> int:
         choices=sorted(SCALES),
         help="evaluation budget (smoke/ci/full)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="GA fitness-evaluation process-pool size (overrides the scale; 0 = in-process)",
+    )
     args = parser.parse_args(argv)
 
-    pipeline = DatasetPipeline(args.scale)
+    scale = SCALES[args.scale]
+    if args.workers is not None:
+        if args.workers < 0:
+            parser.error("--workers must be non-negative")
+        scale = dataclasses.replace(scale, ga_workers=args.workers)
+    pipeline = DatasetPipeline(scale)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         runner, formatter = EXPERIMENTS[name]

@@ -17,8 +17,10 @@ from repro.approx.mlp import ApproximateMLP
 __all__ = [
     "layer_column_counts",
     "reduce_columns_fa_count",
+    "reduce_columns_fa_count_reference",
     "layer_fa_count",
     "fast_mlp_fa_count",
+    "fast_population_fa_count",
 ]
 
 
@@ -58,18 +60,20 @@ def layer_column_counts(
 
     max_exp = int(exponents.max(initial=0))
     width = input_bits + max_exp + max(bias_bits, 1) + 1
-    counts = np.zeros((width, fan_out), dtype=np.int64)
 
-    neuron_index = np.broadcast_to(np.arange(fan_out), (fan_in, fan_out))
-    for bit in range(input_bits):
-        bit_set = (masks >> bit) & 1  # (fan_in, fan_out)
-        columns = bit + exponents  # (fan_in, fan_out)
-        np.add.at(counts, (columns.ravel(), neuron_index.ravel()), bit_set.ravel())
+    # One flat bincount over (bit, input, neuron) replaces the Python
+    # bit loop: summand bit b of weight (i, j) lands in column
+    # ``b + exponents[i, j]`` of neuron ``j``.
+    bits = np.arange(input_bits, dtype=np.int64)[:, None, None]
+    bit_set = (masks[None, :, :] >> bits) & 1  # (input_bits, fan_in, fan_out)
+    columns = bits + exponents[None, :, :]
+    flat = columns * fan_out + np.arange(fan_out, dtype=np.int64)[None, None, :]
+    counts = np.bincount(
+        flat.ravel(), weights=bit_set.ravel(), minlength=width * fan_out
+    ).astype(np.int64).reshape(width, fan_out)
 
-    bias_magnitude = np.abs(biases)
-    for bit in range(bias_bits):
-        bit_set = (bias_magnitude >> bit) & 1  # (fan_out,)
-        counts[bit, :] += bit_set
+    bias_bit_range = np.arange(bias_bits, dtype=np.int64)[:, None]
+    counts[:bias_bits, :] += (np.abs(biases)[None, :] >> bias_bit_range) & 1
     return counts
 
 
@@ -87,6 +91,45 @@ def reduce_columns_fa_count(counts: np.ndarray) -> np.ndarray:
     adder tree (no half adders, no final carry-propagate adder — the same
     convention as :func:`repro.hardware.adder_tree.mlp_fa_count`).
     """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 2:
+        raise ValueError("counts must be a (width, fan_out) matrix")
+    width, fan_out = counts.shape
+    total_fa = np.zeros(fan_out, dtype=np.int64)
+    if width == 0 or fan_out == 0:
+        return total_fa
+
+    # Each 3:2 round turns `c // 3` triples per column into one sum bit
+    # (same column) and one carry (next column).  A column of height c
+    # shrinks to `c - 2*(c//3)` plus an incoming carry of at most
+    # `peak // 3`, so the peak drops by at least a third per round and
+    # the top nonzero row rises by at most one row per round — one
+    # buffer row of headroom per possible round is enough.
+    peak = int(counts.max())
+    rounds_bound = 1
+    while peak > 2:
+        peak -= peak // 3
+        rounds_bound += 1
+    buffer = np.zeros((width + rounds_bound, fan_out), dtype=np.int64)
+    buffer[:width] = counts
+
+    while buffer.max() > 2:
+        if buffer[-1].any():
+            # Safety net: keep an all-zero top row so no carry can
+            # ever fall off the buffer.
+            buffer = np.concatenate(
+                [buffer, np.zeros((4, fan_out), dtype=np.int64)], axis=0
+            )
+        fas = buffer // 3
+        total_fa += fas.sum(axis=0)
+        buffer -= 2 * fas  # remainder plus the sum bits
+        buffer[1:] += fas[:-1]  # carries
+    return total_fa
+
+
+def reduce_columns_fa_count_reference(counts: np.ndarray) -> np.ndarray:
+    """Grow-the-array 3:2 reduction, retained as the oracle for
+    :func:`reduce_columns_fa_count`."""
     counts = np.array(counts, dtype=np.int64, copy=True)
     if counts.ndim != 2:
         raise ValueError("counts must be a (width, fan_out) matrix")
@@ -126,3 +169,64 @@ def fast_mlp_fa_count(mlp: ApproximateMLP) -> int:
             input_bits=layer.input_bits,
         )
     return total
+
+
+def _population_layer_fa_counts(
+    masks: np.ndarray,
+    exponents: np.ndarray,
+    biases: np.ndarray,
+    input_bits: int,
+    bias_bits: int = 16,
+) -> np.ndarray:
+    """Per-candidate FA counts of one layer position, stacked.
+
+    ``masks``/``exponents`` have shape ``(P, fan_in, fan_out)`` and
+    ``biases`` ``(P, fan_out)``; the column histogram of the whole stack
+    is built with one flat bincount and reduced with one shared 3:2
+    sweep, so the cost per candidate is a few vectorized operations.
+    """
+    population, fan_in, fan_out = masks.shape
+    columns_per_slice = population * fan_out
+    max_exp = int(exponents.max(initial=0))
+    width = input_bits + max_exp + max(bias_bits, 1) + 1
+
+    bits = np.arange(input_bits, dtype=np.int64)[:, None, None, None]
+    bit_set = (masks[None, :, :, :] >> bits) & 1  # (B, P, fan_in, fan_out)
+    columns = bits + exponents[None, :, :, :]
+    neuron = (
+        np.arange(population, dtype=np.int64)[:, None] * fan_out
+        + np.arange(fan_out, dtype=np.int64)[None, :]
+    )  # (P, fan_out)
+    flat = columns * columns_per_slice + neuron[None, :, None, :]
+    counts = np.bincount(
+        flat.ravel(), weights=bit_set.ravel(), minlength=width * columns_per_slice
+    ).astype(np.int64).reshape(width, columns_per_slice)
+
+    bias_bit_range = np.arange(bias_bits, dtype=np.int64)[:, None]
+    counts[:bias_bits, :] += (
+        np.abs(biases).reshape(columns_per_slice)[None, :] >> bias_bit_range
+    ) & 1
+    per_neuron = reduce_columns_fa_count(counts)
+    return per_neuron.reshape(population, fan_out).sum(axis=1)
+
+
+def fast_population_fa_count(mlps: "list[ApproximateMLP]") -> np.ndarray:
+    """Total FA count of every MLP of a homogeneous population.
+
+    Identical to calling :func:`fast_mlp_fa_count` per model — each
+    neuron's column histogram and greedy 3:2 reduction are unchanged —
+    but the whole population is counted with one bincount and one
+    reduction sweep per layer position.
+    """
+    if not mlps:
+        return np.zeros(0, dtype=np.int64)
+    totals = np.zeros(len(mlps), dtype=np.int64)
+    for layer_index in range(len(mlps[0].layers)):
+        layers = [mlp.layers[layer_index] for mlp in mlps]
+        totals += _population_layer_fa_counts(
+            masks=np.stack([layer.masks for layer in layers]),
+            exponents=np.stack([layer.exponents for layer in layers]),
+            biases=np.stack([layer.biases for layer in layers]),
+            input_bits=layers[0].input_bits,
+        )
+    return totals

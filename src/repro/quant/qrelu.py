@@ -45,7 +45,8 @@ def qrelu(acc: np.ndarray, shift: int = 0, out_bits: int = 8) -> np.ndarray:
         raise TypeError(f"qrelu expects integer accumulators, got dtype {acc.dtype}")
     shifted = acc >> shift
     max_val = (1 << out_bits) - 1
-    return np.clip(shifted, 0, max_val).astype(np.int64)
+    clipped = np.clip(shifted, 0, max_val)
+    return clipped if clipped.dtype == np.int64 else clipped.astype(np.int64)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,340 @@
+"""Equivalence tests for the vectorized fitness engine.
+
+Every fast path introduced by the vectorized engine keeps its original
+scalar implementation around as a reference oracle; these tests assert
+exact agreement over randomized models, batches and populations:
+
+* bit-plane forward == naive 3-D accumulate (bitwise),
+* broadcast non-dominated sort == Deb's pairwise-loop sort,
+* sweep-based ``pareto_front`` / ``ParetoArchive`` == all-pairs scans,
+* memoized ``evaluate_population`` == per-chromosome ``compute``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx.config import ApproxConfig
+from repro.approx.mlp import ApproximateMLP
+from repro.approx.topology import Topology
+from repro.core.chromosome import ChromosomeLayout
+from repro.core.fitness import FitnessEvaluator
+from repro.core.nsga2 import (
+    constrained_domination_matrix,
+    constrained_dominates,
+    fast_non_dominated_sort,
+    fast_non_dominated_sort_reference,
+)
+from repro.core.pareto import (
+    ParetoArchive,
+    ParetoPoint,
+    pareto_front,
+    pareto_front_reference,
+)
+from repro.hardware.fast_area import (
+    fast_mlp_fa_count,
+    fast_population_fa_count,
+    reduce_columns_fa_count,
+    reduce_columns_fa_count_reference,
+)
+
+
+def slow_forward(mlp: ApproximateMLP, x: np.ndarray) -> np.ndarray:
+    """Reference forward pass built on the naive 3-D accumulate."""
+    activations = np.asarray(x, dtype=np.int64)
+    if activations.ndim == 1:
+        activations = activations[None, :]
+    for layer in mlp.layers:
+        acc = layer.accumulate(activations, slow=True)
+        activations = acc if layer.activation is None else layer.activation(acc)
+    return activations
+
+
+class TestBitPlaneForward:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_forward_matches_naive_accumulate(self, seed):
+        rng = np.random.default_rng(seed)
+        num_layers = int(rng.integers(2, 5))
+        sizes = tuple(int(s) for s in rng.integers(2, 24, size=num_layers))
+        mlp = ApproximateMLP.random(
+            Topology(sizes), ApproxConfig(), rng, mask_density=float(rng.random())
+        )
+        batch = rng.integers(0, 16, size=(int(rng.integers(1, 64)), sizes[0]))
+        assert np.array_equal(mlp.forward(batch), slow_forward(mlp, batch))
+
+    def test_layer_accumulate_slow_and_fast_agree(self):
+        rng = np.random.default_rng(0)
+        mlp = ApproximateMLP.random(Topology((7, 6, 3)), ApproxConfig(), rng)
+        x = rng.integers(0, 16, size=(50, 7))
+        layer = mlp.layers[0]
+        assert np.array_equal(layer.accumulate(x), layer.accumulate(x, slow=True))
+
+    def test_out_of_range_inputs_match(self):
+        # Bits above `input_bits` never survive the masks; both paths
+        # must drop them identically.
+        rng = np.random.default_rng(1)
+        mlp = ApproximateMLP.random(Topology((5, 4, 2)), ApproxConfig(), rng)
+        x = rng.integers(0, 1 << 12, size=(20, 5))
+        layer = mlp.layers[0]
+        assert np.array_equal(layer.accumulate(x), layer.accumulate(x, slow=True))
+
+    def test_bit_planes_cached_and_readonly(self):
+        rng = np.random.default_rng(2)
+        mlp = ApproximateMLP.random(Topology((4, 3, 2)), ApproxConfig(), rng)
+        layer = mlp.layers[0]
+        planes = layer.bit_planes
+        assert planes is layer.bit_planes
+        with pytest.raises(ValueError):
+            planes[0, 0] = 1
+
+    def test_invalidate_caches_after_in_place_edit(self):
+        rng = np.random.default_rng(3)
+        mlp = ApproximateMLP.random(Topology((4, 3, 2)), ApproxConfig(), rng)
+        layer = mlp.layers[0]
+        x = rng.integers(0, 16, size=(10, 4))
+        layer.bit_planes
+        layer.masks[:] = 0
+        layer.invalidate_caches()
+        assert np.array_equal(layer.accumulate(x), layer.accumulate(x, slow=True))
+
+    def test_decode_precomputes_bit_planes(self):
+        rng = np.random.default_rng(4)
+        layout = ChromosomeLayout(Topology((4, 3, 2)), ApproxConfig())
+        mlp = layout.decode(layout.random(rng))
+        assert all(layer._bit_planes is not None for layer in mlp.layers)
+
+    def test_decode_rejects_out_of_bounds_genes(self):
+        rng = np.random.default_rng(7)
+        layout = ChromosomeLayout(Topology((4, 3, 2)), ApproxConfig())
+        chromosome = layout.random(rng)
+        chromosome[2] = -3  # exponent gene below its lower bound
+        with pytest.raises(ValueError):
+            layout.decode(chromosome)
+
+    def test_output_bits_cached(self):
+        rng = np.random.default_rng(5)
+        mlp = ApproximateMLP.random(Topology((4, 3, 2)), ApproxConfig(), rng)
+        out_layer = mlp.layers[-1]
+        assert out_layer.output_bits == out_layer.output_bits
+        assert out_layer._output_bits is not None
+
+    def test_copy_is_deep_and_equal(self):
+        rng = np.random.default_rng(6)
+        mlp = ApproximateMLP.random(Topology((6, 5, 3)), ApproxConfig(), rng)
+        x = rng.integers(0, 16, size=(32, 6))
+        clone = mlp.copy()
+        assert np.array_equal(clone.forward(x), mlp.forward(x))
+        clone.layers[0].masks[:] = 0
+        clone.layers[0].invalidate_caches()
+        assert not np.array_equal(clone.layers[0].masks, mlp.layers[0].masks)
+
+
+class TestFaCountReduction:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_bounded_buffer_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        width = int(rng.integers(1, 30))
+        fan_out = int(rng.integers(1, 8))
+        # Tall columns exercise the carry headroom (fan_in >= 1024 layers
+        # produce histograms in the thousands).
+        peak = int(rng.choice([3, 50, 1025, 5000]))
+        counts = rng.integers(0, peak + 1, size=(width, fan_out))
+        assert np.array_equal(
+            reduce_columns_fa_count(counts),
+            reduce_columns_fa_count_reference(counts),
+        )
+
+    def test_flat_tall_histogram(self):
+        counts = np.full((10, 3), 1025, dtype=np.int64)
+        assert np.array_equal(
+            reduce_columns_fa_count(counts),
+            reduce_columns_fa_count_reference(counts),
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_population_fa_matches_per_model(self, seed):
+        rng = np.random.default_rng(seed)
+        sizes = tuple(int(v) for v in rng.integers(2, 16, size=3))
+        models = [
+            ApproximateMLP.random(
+                Topology(sizes), ApproxConfig(), rng, mask_density=float(rng.random())
+            )
+            for _ in range(int(rng.integers(1, 7)))
+        ]
+        areas = fast_population_fa_count(models)
+        assert [int(a) for a in areas] == [fast_mlp_fa_count(m) for m in models]
+
+
+def random_objectives(rng, n):
+    # Rounding produces plenty of exact ties, the hard case for sweeps.
+    decimals = int(rng.integers(0, 4))
+    scale = float(rng.choice([1.0, 10.0, 1000.0]))
+    return np.round(rng.random((n, 2)) * scale, decimals)
+
+
+class TestNonDominatedSortEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 40))
+        objectives = random_objectives(rng, n)
+        violations = None
+        if rng.random() < 0.5:
+            violations = np.maximum(0.0, rng.random(n) - 0.6)
+        fast = fast_non_dominated_sort(objectives, violations)
+        reference = fast_non_dominated_sort_reference(
+            objectives, None if violations is None else list(violations)
+        )
+        assert fast == reference
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_matrix_matches_scalar_relation(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 15))
+        objectives = random_objectives(rng, n)
+        violations = np.maximum(0.0, rng.random(n) - 0.5)
+        matrix = constrained_domination_matrix(objectives, violations)
+        for i in range(n):
+            for j in range(n):
+                expected = i != j and constrained_dominates(
+                    objectives[i], objectives[j], violations[i], violations[j]
+                )
+                assert bool(matrix[i, j]) == expected
+
+    def test_empty_population(self):
+        assert fast_non_dominated_sort(np.zeros((0, 2))) == []
+
+    def test_violation_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fast_non_dominated_sort(np.zeros((3, 2)), violations=[0.0])
+
+
+class TestParetoSweepEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_pareto_front_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(0, 60))
+        objectives = random_objectives(rng, max(n, 1))[:n]
+        points = [
+            ParetoPoint(float(e), float(a), 1.0 - float(e), payload=i)
+            for i, (e, a) in enumerate(objectives)
+        ]
+        fast = pareto_front(points)
+        reference = pareto_front_reference(points)
+        # Same points, same order, same representatives for duplicates.
+        assert [p.payload for p in fast] == [p.payload for p in reference]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_archive_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        max_size = int(rng.integers(1, 20))
+        sweep = ParetoArchive(max_size=max_size)
+        reference = ParetoArchive(max_size=max_size, reference=True)
+        for e, a in random_objectives(rng, int(rng.integers(1, 60))):
+            point = ParetoPoint(float(e), float(a), 1.0 - float(e))
+            assert sweep.add(point) == reference.add(point)
+            assert [(q.error, q.area) for q in sweep.points] == [
+                (q.error, q.area) for q in reference.points
+            ]
+
+    def test_near_duplicates_collapse(self):
+        base = ParetoPoint(0.5, 100.0, 0.5, payload="first")
+        close = ParetoPoint(0.5 + 1e-12, 100.0 - 1e-9, 0.5, payload="second")
+        front = pareto_front([base, close])
+        assert [p.payload for p in front] == ["first"]
+        archive = ParetoArchive()
+        assert archive.add(base)
+        assert not archive.add(close)
+
+
+@pytest.fixture(scope="module")
+def tiny_fitness_setup():
+    layout = ChromosomeLayout(Topology((4, 3, 2)), ApproxConfig())
+    rng = np.random.default_rng(11)
+    inputs = rng.integers(0, 16, size=(40, 4))
+    labels = rng.integers(0, 2, size=40)
+    return layout, inputs, labels
+
+
+class TestFitnessCache:
+    def test_population_matches_individual_compute(self, tiny_fitness_setup):
+        layout, inputs, labels = tiny_fitness_setup
+        rng = np.random.default_rng(0)
+        population = [layout.random(rng) for _ in range(12)]
+        population += [population[0].copy(), population[3].copy()]
+        evaluator = FitnessEvaluator(layout, inputs, labels, baseline_accuracy=0.9)
+        batch = evaluator.evaluate_population(population)
+        for chromosome, values in zip(population, batch):
+            assert values == evaluator.compute(chromosome)
+
+    def test_cache_counters(self, tiny_fitness_setup):
+        layout, inputs, labels = tiny_fitness_setup
+        rng = np.random.default_rng(1)
+        population = [layout.random(rng) for _ in range(6)]
+        duplicated = population + [c.copy() for c in population]
+        evaluator = FitnessEvaluator(layout, inputs, labels)
+        evaluator.evaluate_population(duplicated)
+        assert evaluator.evaluations == 12
+        assert evaluator.fitness_computations == 6
+        assert evaluator.cache_hits == 6
+        # A second pass is served entirely from the cache.
+        evaluator.evaluate_population(duplicated)
+        assert evaluator.evaluations == 24
+        assert evaluator.fitness_computations == 6
+        assert evaluator.cache_hits == 18
+
+    def test_single_evaluate_uses_cache(self, tiny_fitness_setup):
+        layout, inputs, labels = tiny_fitness_setup
+        rng = np.random.default_rng(2)
+        chromosome = layout.random(rng)
+        evaluator = FitnessEvaluator(layout, inputs, labels)
+        first = evaluator.evaluate(chromosome)
+        second = evaluator.evaluate(chromosome.copy())
+        assert first == second
+        assert evaluator.cache_hits == 1
+        assert evaluator.fitness_computations == 1
+
+    def test_cache_eviction_bound(self, tiny_fitness_setup):
+        layout, inputs, labels = tiny_fitness_setup
+        rng = np.random.default_rng(3)
+        evaluator = FitnessEvaluator(layout, inputs, labels, max_cache_size=4)
+        for _ in range(10):
+            evaluator.evaluate(layout.random(rng))
+        assert len(evaluator._cache) <= 4
+
+    def test_population_survives_mid_batch_eviction(self, tiny_fitness_setup):
+        # A cache-hit entry evicted while the batch's new results are
+        # being stored must still reach the returned list.
+        layout, inputs, labels = tiny_fitness_setup
+        rng = np.random.default_rng(5)
+        evaluator = FitnessEvaluator(layout, inputs, labels, max_cache_size=3)
+        a, b, c, d = (layout.random(rng) for _ in range(4))
+        for chromosome in (a, b, c):
+            evaluator.evaluate(chromosome)
+        results = evaluator.evaluate_population([a, d])
+        assert results[0] == evaluator.compute(a)
+        assert results[1] == evaluator.compute(d)
+
+    def test_worker_pool_matches_serial(self, tiny_fitness_setup):
+        layout, inputs, labels = tiny_fitness_setup
+        rng = np.random.default_rng(4)
+        population = [layout.random(rng) for _ in range(8)]
+        serial = FitnessEvaluator(layout, inputs, labels)
+        with FitnessEvaluator(layout, inputs, labels, n_workers=2) as pooled:
+            assert pooled.evaluate_population(population) == serial.evaluate_population(
+                population
+            )
+
+    def test_rejects_bad_parameters(self, tiny_fitness_setup):
+        layout, inputs, labels = tiny_fitness_setup
+        with pytest.raises(ValueError):
+            FitnessEvaluator(layout, inputs, labels, n_workers=-1)
+        with pytest.raises(ValueError):
+            FitnessEvaluator(layout, inputs, labels, max_cache_size=0)
