@@ -117,13 +117,8 @@ class Tc23ApproximateMLP:
         """Classification accuracy on integer-quantized inputs."""
         return float(np.mean(self.predict(x) == np.asarray(y)))
 
-    def synthesize(
-        self,
-        library: Optional[EGFETLibrary] = None,
-        voltage: float = 1.0,
-        clock_period_ms: float = 200.0,
-    ) -> HardwareReport:
-        """Hardware analysis of the approximated bespoke circuit.
+    def synthesis_job(self) -> dict:
+        """Per-model synthesis arguments for the batched exact engine.
 
         Truncated summand bits simply disappear from the adder trees, so
         the per-layer effective input width shrinks by ``truncation_bits``.
@@ -132,15 +127,26 @@ class Tc23ApproximateMLP:
             max(bits - self.config.truncation_bits, 1)
             for bits in self.base.input_bits_per_layer
         ]
+        return {
+            "weight_codes": self.weight_codes,
+            "bias_codes": self.base.bias_codes,
+            "input_bits_per_layer": effective_bits,
+            "activation_bits": self.base.activation_bits,
+            "activation_shifts": self.base.shifts,
+        }
+
+    def synthesize(
+        self,
+        library: Optional[EGFETLibrary] = None,
+        voltage: float = 1.0,
+        clock_period_ms: Optional[float] = None,
+    ) -> HardwareReport:
+        """Hardware analysis of the approximated bespoke circuit."""
         return synthesize_exact_mlp(
-            weight_codes=self.weight_codes,
-            bias_codes=self.base.bias_codes,
-            input_bits_per_layer=effective_bits,
-            activation_bits=self.base.activation_bits,
-            activation_shifts=self.base.shifts,
             library=library,
             voltage=voltage,
             clock_period_ms=clock_period_ms,
+            **self.synthesis_job(),
         )
 
 
@@ -153,20 +159,32 @@ def explore_tc23(
     csd_digit_options: Sequence[int] = (1, 2, 3),
     truncation_options: Sequence[int] = (0, 1, 2, 3),
     library: Optional[EGFETLibrary] = None,
-    clock_period_ms: float = 200.0,
+    clock_period_ms: Optional[float] = None,
 ) -> tuple[Optional[Tc23ApproximateMLP], Optional[HardwareReport], List[dict]]:
     """Sweep the TC'23 design space and pick the smallest admissible circuit.
 
     Returns the chosen model, its hardware report, and the full sweep
-    log (one dict per configuration with accuracy and area).
+    log (one dict per configuration with accuracy and area).  The whole
+    grid is synthesized with one population-batched call.
     """
+    from repro.hardware.fast_synthesis import synthesize_exact_population
+
+    configs = list(product(csd_digit_options, truncation_options))
+    models = [
+        Tc23ApproximateMLP(base=base, config=Tc23Config(digits, trunc))
+        for digits, trunc in configs
+    ]
+    reports = synthesize_exact_population(
+        [model.synthesis_job() for model in models],
+        library=library,
+        clock_period_ms=clock_period_ms,
+    )
+
     best_model: Optional[Tc23ApproximateMLP] = None
     best_report: Optional[HardwareReport] = None
     sweep: List[dict] = []
-    for digits, trunc in product(csd_digit_options, truncation_options):
-        model = Tc23ApproximateMLP(base=base, config=Tc23Config(digits, trunc))
+    for (digits, trunc), model, report in zip(configs, models, reports):
         accuracy = model.accuracy(inputs, labels)
-        report = model.synthesize(library=library, clock_period_ms=clock_period_ms)
         sweep.append(
             {
                 "max_csd_digits": digits,

@@ -110,9 +110,14 @@ class BespokeMLP:
         self,
         library: Optional[EGFETLibrary] = None,
         voltage: float = 1.0,
-        clock_period_ms: float = 200.0,
+        clock_period_ms: Optional[float] = None,
     ) -> HardwareReport:
-        """Hardware analysis of the bespoke circuit (area, power, delay)."""
+        """Hardware analysis of the bespoke circuit (area, power, delay).
+
+        Pass the dataset's registry clock period
+        (``get_spec(name).clock_period_ms``); ``None`` falls back to the
+        200 ms default, which is wrong for Pendigits (250 ms).
+        """
         return synthesize_exact_mlp(
             weight_codes=self.weight_codes,
             bias_codes=self.bias_codes,

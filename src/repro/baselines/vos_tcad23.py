@@ -106,10 +106,14 @@ class VosApproximateMLP:
         """Classification accuracy (including VOS error injection)."""
         return float(np.mean(self.predict(x) == np.asarray(y)))
 
+    def synthesis_job(self) -> dict:
+        """Per-model synthesis arguments for the batched exact engine."""
+        return self._inner.synthesis_job()
+
     def synthesize(
         self,
         library: Optional[EGFETLibrary] = None,
-        clock_period_ms: float = 200.0,
+        clock_period_ms: Optional[float] = None,
     ) -> HardwareReport:
         """Hardware analysis at the over-scaled supply voltage."""
         return self._inner.synthesize(
@@ -126,33 +130,53 @@ def explore_vos(
     csd_digit_options: Sequence[int] = (1, 2, 3),
     voltage_options: Sequence[float] = (0.8, 0.7),
     library: Optional[EGFETLibrary] = None,
-    clock_period_ms: float = 200.0,
+    clock_period_ms: Optional[float] = None,
     seed: int = 0,
 ) -> tuple[Optional[VosApproximateMLP], Optional[HardwareReport], List[dict]]:
-    """Sweep the TCAD'23 design space and pick the lowest-power admissible point."""
+    """Sweep the TCAD'23 design space and pick the lowest-power admissible point.
+
+    The whole (CSD digits × supply voltage) grid is synthesized with one
+    population-batched call; the per-point supply voltages are passed
+    through as a vector.
+    """
+    from repro.hardware.fast_synthesis import synthesize_exact_population
+
+    configs = [
+        (digits, voltage)
+        for digits in csd_digit_options
+        for voltage in voltage_options
+    ]
+    models = [
+        VosApproximateMLP(
+            base=base,
+            config=VosConfig(max_csd_digits=digits, voltage=voltage),
+            seed=seed,
+        )
+        for digits, voltage in configs
+    ]
+    reports = synthesize_exact_population(
+        [model.synthesis_job() for model in models],
+        library=library,
+        voltage=[voltage for _, voltage in configs],
+        clock_period_ms=clock_period_ms,
+    )
+
     best_model: Optional[VosApproximateMLP] = None
     best_report: Optional[HardwareReport] = None
     sweep: List[dict] = []
-    for digits in csd_digit_options:
-        for voltage in voltage_options:
-            model = VosApproximateMLP(
-                base=base,
-                config=VosConfig(max_csd_digits=digits, voltage=voltage),
-                seed=seed,
-            )
-            accuracy = model.accuracy(inputs, labels)
-            report = model.synthesize(library=library, clock_period_ms=clock_period_ms)
-            sweep.append(
-                {
-                    "max_csd_digits": digits,
-                    "voltage": voltage,
-                    "accuracy": accuracy,
-                    "area_cm2": report.area_cm2,
-                    "power_mw": report.power_mw,
-                }
-            )
-            if accuracy < baseline_accuracy - max_accuracy_loss:
-                continue
-            if best_report is None or report.power_mw < best_report.power_mw:
-                best_model, best_report = model, report
+    for (digits, voltage), model, report in zip(configs, models, reports):
+        accuracy = model.accuracy(inputs, labels)
+        sweep.append(
+            {
+                "max_csd_digits": digits,
+                "voltage": voltage,
+                "accuracy": accuracy,
+                "area_cm2": report.area_cm2,
+                "power_mw": report.power_mw,
+            }
+        )
+        if accuracy < baseline_accuracy - max_accuracy_loss:
+            continue
+        if best_report is None or report.power_mw < best_report.power_mw:
+            best_model, best_report = model, report
     return best_model, best_report, sweep

@@ -1,0 +1,189 @@
+"""Shared evaluation cache spanning the stages of the Fig. 2 pipeline.
+
+The GA stage decodes and forwards every chromosome it evaluates; the
+subsequent front-synthesis stage used to rebuild all of that from
+scratch (decode again, forward again, synthesize one model at a time),
+and the reporting experiments (Table II, Fig. 4, Fig. 5) re-request the
+same hardware reports.  :class:`EvaluationCache` is one bounded memo
+shared by all of them, keyed by the chromosome's raw genome bytes:
+
+``fitness``
+    (evaluator context, genome) → fitness values (training accuracy +
+    FA-count area), the GA's inner-loop memo.  The context part carries
+    the training split and feasibility constraint, because the cached
+    values embed both;
+``models``
+    genome → decoded :class:`~repro.approx.mlp.ApproximateMLP` (with its
+    lazily built bit-plane caches), so the front synthesis never decodes
+    a genome the GA has already seen.  Populated by in-process
+    evaluation (``n_workers <= 1``, the default); the process-pool path
+    keeps decoded models inside the workers, so under a pool the front
+    stage decodes front members itself;
+``accuracy``
+    (genome, dataset fingerprint) → accuracy on a held-out split;
+``reports``
+    (genome, voltage, clock period, registers flag) → hardware report,
+    priced with the default EGFET library (callers with a custom
+    library bypass this section — the key carries no library identity).
+
+Every section is a true LRU (:class:`LRUCache`): a hit refreshes
+recency, so hot genomes — elites that reappear generation after
+generation — survive eviction pressure.  Sections also count hits and
+misses, which the tests use to assert that a full pipeline run performs
+zero redundant decode/forward/synthesis work.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, List
+
+import numpy as np
+
+__all__ = ["LRUCache", "EvaluationCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-*used* eviction.
+
+    Unlike a plain insertion-ordered dict bound, a :meth:`get` hit moves
+    the entry to the back of the eviction queue, so entries are evicted
+    in true LRU order.  ``hits`` / ``misses`` count lookups.
+    """
+
+    def __init__(self, max_size: int) -> None:
+        if max_size <= 0:
+            raise ValueError(f"max_size must be positive, got {max_size}")
+        self.max_size = max_size
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its recency on a hit."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the least recently used."""
+        data = self._data
+        data[key] = value
+        data.move_to_end(key)
+        while len(data) > self.max_size:
+            data.popitem(last=False)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> List[Hashable]:
+        """Keys in eviction order (least recently used first)."""
+        return list(self._data.keys())
+
+    def clear(self) -> None:
+        """Drop every entry (counters are retained)."""
+        self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class EvaluationCache:
+    """One memo shared by the GA, front-synthesis and reporting stages."""
+
+    def __init__(
+        self,
+        max_fitness_entries: int = 250_000,
+        max_model_entries: int = 16_384,
+        max_accuracy_entries: int = 250_000,
+        max_report_entries: int = 65_536,
+    ) -> None:
+        self.fitness = LRUCache(max_fitness_entries)
+        self.models = LRUCache(max_model_entries)
+        self.accuracy = LRUCache(max_accuracy_entries)
+        self.reports = LRUCache(max_report_entries)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def genome_key(chromosome: np.ndarray) -> bytes:
+        """Canonical cache key of a chromosome (its raw genome bytes)."""
+        return np.ascontiguousarray(chromosome, dtype=np.int64).tobytes()
+
+    @staticmethod
+    def layout_key(layout: Any) -> Hashable:
+        """Decode-semantics identity of a chromosome layout.
+
+        Two layouts with the same topology, number formats and shift
+        handling decode any given genome identically; layouts differing
+        only in gene *bounds* (the ablation experiments restrict those)
+        share a key on purpose.  Namespacing model/fitness entries with
+        this prevents collisions between layouts whose chromosomes
+        merely have equal byte length.
+        """
+        return (
+            tuple(layout.topology.sizes),
+            layout.config,
+            bool(getattr(layout, "learn_shifts", True)),
+        )
+
+    @staticmethod
+    def split_fingerprint(inputs: np.ndarray, labels: np.ndarray) -> Hashable:
+        """A compact identity for a dataset split, for accuracy keys."""
+        inputs = np.asarray(inputs)
+        labels = np.asarray(labels)
+        return (
+            inputs.shape,
+            labels.shape,
+            hash(np.ascontiguousarray(inputs).tobytes()),
+            hash(np.ascontiguousarray(labels).tobytes()),
+        )
+
+    @staticmethod
+    def report_key(
+        genome: Hashable,
+        voltage: float,
+        clock_period_ms: float,
+        include_registers: bool = False,
+    ) -> Hashable:
+        """Cache key of one hardware report (a design at an operating point).
+
+        ``genome`` is typically the layout-scoped ``(layout_key, genome
+        bytes)`` pair used throughout :func:`evaluate_front`.
+        """
+        return (genome, float(voltage), float(clock_period_ms), bool(include_registers))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Hit/miss counters of every section (for logs and tests)."""
+        return {
+            name: {
+                "entries": len(section),
+                "hits": section.hits,
+                "misses": section.misses,
+            }
+            for name, section in (
+                ("fitness", self.fitness),
+                ("models", self.models),
+                ("accuracy", self.accuracy),
+                ("reports", self.reports),
+            )
+        }
+
+    def clear(self) -> None:
+        """Drop every entry of every section."""
+        self.fitness.clear()
+        self.models.clear()
+        self.accuracy.clear()
+        self.reports.clear()

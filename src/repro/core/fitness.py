@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.approx.mlp import accuracy_population
+from repro.core.cache import EvaluationCache
 from repro.core.chromosome import ChromosomeLayout
 from repro.hardware.fast_area import fast_mlp_fa_count, fast_population_fa_count
 
@@ -90,14 +91,29 @@ class FitnessEvaluator:
         on a process pool of this many workers.  0/1 keeps everything in
         process (the right choice for the small CI-scale populations).
     max_cache_size:
-        Bound on the memo cache; the oldest entries are evicted first.
+        Bound on the memo cache.  Eviction is true LRU: a cache hit
+        refreshes an entry's recency, so hot genomes (elites reappearing
+        every generation) are not evicted in pure insertion order.
+        Ignored when a shared ``cache`` is supplied — the shared cache
+        keeps its own section bounds.
+    cache:
+        Optional shared :class:`~repro.core.cache.EvaluationCache`.  When
+        given, fitness values and decoded models are stored there, so
+        later pipeline stages (front synthesis, reporting) can reuse the
+        GA's work; when omitted, a private cache is created.  Fitness
+        entries are namespaced by the evaluator's context (training
+        split, baseline accuracy, loss bound), so one cache can safely
+        be shared between evaluators with different constraints.
 
     Attributes
     ----------
     evaluations:
-        Number of fitness lookups requested (cache hits included).
+        Number of *unique* fitness lookups requested.  Genomes that are
+        duplicated within one :meth:`evaluate_population` batch count
+        once — duplicates are folded before the cache is consulted, so
+        they are neither lookups nor hits.
     cache_hits:
-        How many lookups were served from the memo cache.
+        How many unique lookups were served from the memo cache.
     fitness_computations:
         Number of chromosomes actually decoded and forwarded
         (``evaluations - cache_hits``).
@@ -112,6 +128,7 @@ class FitnessEvaluator:
         max_accuracy_loss: float = 0.10,
         n_workers: int = 0,
         max_cache_size: int = 250_000,
+        cache: Optional[EvaluationCache] = None,
     ) -> None:
         self.layout = layout
         self.train_inputs = np.asarray(train_inputs, dtype=np.int64)
@@ -138,15 +155,45 @@ class FitnessEvaluator:
         self.evaluations = 0
         self.cache_hits = 0
         self.fitness_computations = 0
-        self._cache: Dict[bytes, FitnessValues] = {}
+        self.cache = (
+            cache
+            if cache is not None
+            else EvaluationCache(max_fitness_entries=max_cache_size)
+        )
+        # Cached FitnessValues embed the decode semantics, the training
+        # split and the feasibility constraint, so fitness keys are
+        # namespaced by this evaluator's context; decoded models depend
+        # only on the layout, so model keys carry the layout identity.
+        self._layout_key = EvaluationCache.layout_key(layout)
+        self._context_key = (
+            self._layout_key,
+            baseline_accuracy,
+            max_accuracy_loss,
+            EvaluationCache.split_fingerprint(self.train_inputs, self.train_labels),
+        )
         self._pool = None
 
+    def _fitness_key(self, genome: bytes):
+        return (self._context_key, genome)
+
+    def _model_key(self, genome: bytes):
+        return (self._layout_key, genome)
+
+    @property
+    def _cache(self):
+        """The fitness section's backing mapping (tests and debugging)."""
+        return self.cache.fitness._data
+
     # ------------------------------------------------------------------
-    def compute(self, chromosome: np.ndarray) -> FitnessValues:
-        """Decode and evaluate one chromosome, bypassing the memo cache."""
+    def _decode_and_score(self, chromosome: np.ndarray):
+        """Decode one chromosome and score it; returns ``(mlp, values)``."""
         mlp = self.layout.decode(chromosome)
         accuracy = mlp.accuracy(self.train_inputs, self.train_labels)
-        return self._make_values(accuracy, float(fast_mlp_fa_count(mlp)))
+        return mlp, self._make_values(accuracy, float(fast_mlp_fa_count(mlp)))
+
+    def compute(self, chromosome: np.ndarray) -> FitnessValues:
+        """Decode and evaluate one chromosome, bypassing the memo cache."""
+        return self._decode_and_score(chromosome)[1]
 
     def _make_values(self, accuracy: float, area: float) -> FitnessValues:
         violation = 0.0
@@ -163,29 +210,31 @@ class FitnessEvaluator:
     def evaluate(self, chromosome: np.ndarray) -> FitnessValues:
         """Evaluate one chromosome (memoized)."""
         chromosome = np.ascontiguousarray(chromosome, dtype=np.int64)
-        key = chromosome.tobytes()
+        genome = chromosome.tobytes()
         self.evaluations += 1
-        cached = self._cache.get(key)
+        cached = self.cache.fitness.get(self._fitness_key(genome))
         if cached is not None:
             self.cache_hits += 1
             return cached
-        values = self.compute(chromosome)
+        mlp, values = self._decode_and_score(chromosome)
         self.fitness_computations += 1
-        self._store(key, values)
+        self.cache.fitness.put(self._fitness_key(genome), values)
+        self.cache.models.put(self._model_key(genome), mlp)
         return values
 
     def evaluate_population(self, population: Sequence[np.ndarray]) -> List[FitnessValues]:
         """Evaluate every chromosome of a population.
 
-        The batch is deduplicated against the memo cache first; only the
-        unique, never-seen genomes are decoded and forwarded (optionally
-        on the worker pool).
+        The batch is deduplicated first — in-batch duplicates (elites,
+        crossover clones) are folded onto one lookup and never counted
+        twice — then resolved against the memo cache; only unique,
+        never-seen genomes are decoded and forwarded (optionally on the
+        worker pool).
         """
         chromosomes = [
             np.ascontiguousarray(c, dtype=np.int64) for c in population
         ]
         keys = [c.tobytes() for c in chromosomes]
-        self.evaluations += len(keys)
 
         # Resolve against a batch-local map so cache eviction while
         # storing new results can never drop an entry we still need.
@@ -193,43 +242,47 @@ class FitnessEvaluator:
         pending: Dict[bytes, int] = {}
         for index, key in enumerate(keys):
             if key in resolved or key in pending:
-                self.cache_hits += 1
-                continue
-            cached = self._cache.get(key)
+                continue  # in-batch duplicate: one lookup, counted once
+            cached = self.cache.fitness.get(self._fitness_key(key))
             if cached is not None:
                 self.cache_hits += 1
                 resolved[key] = cached
             else:
                 pending[key] = index
+        self.evaluations += len(resolved) + len(pending)
 
         unique = [chromosomes[index] for index in pending.values()]
         if unique:
-            computed = self._compute_batch(unique)
+            computed = self._compute_batch(unique, keys=list(pending.keys()))
             self.fitness_computations += len(unique)
             for key, values in zip(pending.keys(), computed):
                 resolved[key] = values
-                self._store(key, values)
+                self.cache.fitness.put(self._fitness_key(key), values)
         return [resolved[key] for key in keys]
 
     # ------------------------------------------------------------------
-    def _store(self, key: bytes, values: FitnessValues) -> None:
-        cache = self._cache
-        cache[key] = values
-        while len(cache) > self.max_cache_size:
-            cache.pop(next(iter(cache)))
-
-    def _compute_batch(self, chromosomes: List[np.ndarray]) -> List[FitnessValues]:
+    def _compute_batch(
+        self, chromosomes: List[np.ndarray], keys: Optional[List[bytes]] = None
+    ) -> List[FitnessValues]:
         if self.n_workers > 1 and len(chromosomes) >= 2 * self.n_workers:
+            # Models stay in the worker processes; only values come back.
             return self._compute_on_pool(chromosomes)
-        if len(chromosomes) == 1:
-            return [self.compute(chromosomes[0])]
-        return self._compute_vectorized(chromosomes)
+        return self._compute_vectorized(chromosomes, keys=keys)
 
-    def _compute_vectorized(self, chromosomes: List[np.ndarray]) -> List[FitnessValues]:
+    def _compute_vectorized(
+        self, chromosomes: List[np.ndarray], keys: Optional[List[bytes]] = None
+    ) -> List[FitnessValues]:
         """Population-batched fitness: one batched forward pass and one
         batched FA count cover the whole chromosome list (bitwise
         identical to per-chromosome :meth:`compute`)."""
         models = [self.layout.decode(c) for c in chromosomes]
+        if keys is not None:
+            for key, model in zip(keys, models):
+                self.cache.models.put(self._model_key(key), model)
+        if len(models) == 1:
+            accuracies = [models[0].accuracy(self.train_inputs, self.train_labels)]
+            areas = [float(fast_mlp_fa_count(models[0]))]
+            return [self._make_values(accuracies[0], areas[0])]
         accuracies = accuracy_population(models, self.train_inputs, self.train_labels)
         areas = fast_population_fa_count(models)
         return [

@@ -13,6 +13,7 @@ members to obtain true area and power — lives in
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
@@ -23,6 +24,7 @@ from repro.approx.config import ApproxConfig
 from repro.approx.mlp import ApproximateMLP
 from repro.approx.topology import Topology
 from repro.baselines.gradient import FloatMLP
+from repro.core.cache import EvaluationCache
 from repro.core.chromosome import ChromosomeLayout
 from repro.core.fitness import FitnessEvaluator, FitnessValues
 from repro.core.nsga2 import crowding_distance, fast_non_dominated_sort, nsga2_sort_key
@@ -31,6 +33,8 @@ from repro.core.pareto import ParetoArchive, ParetoPoint, hypervolume, pareto_fr
 from repro.core.population import PopulationInitializer
 
 __all__ = ["GAConfig", "GenerationStats", "GAResult", "GATrainer"]
+
+_LOGGER = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -69,10 +73,12 @@ class GAConfig:
 class GenerationStats:
     """Progress record of one generation.
 
-    ``evaluations`` counts fitness lookups requested so far (cache hits
-    included), ``cache_hits`` how many of those were served from the
-    evaluator's memo cache, and ``fitness_computations`` how many
-    chromosomes were actually decoded and forwarded.
+    ``evaluations`` counts *unique* fitness lookups requested so far
+    (genomes duplicated within one population batch are folded onto a
+    single lookup), ``cache_hits`` how many of those were served from
+    the evaluator's memo cache, and ``fitness_computations`` how many
+    chromosomes were actually decoded and forwarded — the three always
+    satisfy ``evaluations == cache_hits + fitness_computations``.
     """
 
     generation: int
@@ -85,6 +91,11 @@ class GenerationStats:
     evaluations: int
     cache_hits: int = 0
     fitness_computations: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of unique lookups served from the memo cache."""
+        return self.cache_hits / self.evaluations if self.evaluations else 0.0
 
 
 @dataclass
@@ -161,6 +172,7 @@ class GATrainer:
         baseline_accuracy: Optional[float] = None,
         seed_model: Optional[FloatMLP] = None,
         area_objective: bool = True,
+        cache: Optional[EvaluationCache] = None,
     ) -> GAResult:
         """Run the genetic training.
 
@@ -180,6 +192,11 @@ class GATrainer:
             When False the area objective is ignored (all candidates get
             area 0), which reproduces the hardware-unaware "GA" column of
             Table III and is used by the ablation experiments.
+        cache:
+            Optional shared :class:`~repro.core.cache.EvaluationCache`;
+            the fitness values and decoded models of every evaluated
+            genome are stored there so the front-synthesis and reporting
+            stages can reuse them instead of rebuilding their own caches.
         """
         config = self.ga_config
         rng = np.random.default_rng(config.seed)
@@ -192,6 +209,7 @@ class GATrainer:
             baseline_accuracy=baseline_accuracy,
             max_accuracy_loss=config.max_accuracy_loss,
             n_workers=config.n_workers,
+            cache=cache,
         )
         initializer = PopulationInitializer(
             layout=self.layout,
@@ -252,9 +270,21 @@ class GATrainer:
                 config.population_size,
                 area_objective,
             )
-            history.append(
-                self._stats(generation, fitnesses, archive, evaluator, hv_reference)
-            )
+            stats = self._stats(generation, fitnesses, archive, evaluator, hv_reference)
+            history.append(stats)
+            if _LOGGER.isEnabledFor(logging.DEBUG):
+                previous = history[-2] if len(history) > 1 else None
+                lookups = stats.evaluations - (previous.evaluations if previous else 0)
+                hits = stats.cache_hits - (previous.cache_hits if previous else 0)
+                _LOGGER.debug(
+                    "generation %d: %d unique fitness lookups, %d cache hits "
+                    "(%.1f%% hit rate), %d computed",
+                    generation,
+                    lookups,
+                    hits,
+                    100.0 * hits / lookups if lookups else 0.0,
+                    lookups - hits,
+                )
 
         if len(archive) == 0:
             # No candidate satisfied the accuracy-loss bound within the

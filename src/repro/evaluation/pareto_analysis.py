@@ -6,6 +6,15 @@ true area/power with EDA tools, and extracts the *true* Pareto-optimal
 circuits.  This module performs the equivalent step with the analytical
 synthesis model: it evaluates every front member's test accuracy and
 hardware report, then returns the non-dominated (accuracy vs area) set.
+
+The front is processed population-batched: one batched forward pass
+(:func:`repro.approx.mlp.accuracy_population`) covers every member's
+test accuracy and one :func:`~repro.hardware.fast_synthesis.synthesize_approximate_population`
+call covers every member's hardware report.  When the GA's shared
+:class:`~repro.core.cache.EvaluationCache` is passed along, decoded
+models, test accuracies and reports are reused across pipeline stages —
+genomes the GA already decoded are never decoded again, and a report is
+synthesized at most once per operating point.
 """
 
 from __future__ import annotations
@@ -15,10 +24,16 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.approx.mlp import ApproximateMLP, accuracy_population
+from repro.core.cache import EvaluationCache
 from repro.core.pareto import ParetoPoint
 from repro.core.trainer import GAResult
 from repro.hardware.egfet import EGFETLibrary
-from repro.hardware.synthesis import HardwareReport, synthesize_approximate_mlp
+from repro.hardware.synthesis import (
+    DEFAULT_CLOCK_PERIOD_MS,
+    HardwareReport,
+    synthesize_approximate_mlp,
+)
 
 __all__ = ["EvaluatedDesign", "evaluate_front", "true_pareto_front", "select_design"]
 
@@ -48,29 +63,128 @@ def evaluate_front(
     test_labels: np.ndarray,
     library: Optional[EGFETLibrary] = None,
     voltage: float = 1.0,
-    clock_period_ms: float = 200.0,
+    clock_period_ms: Optional[float] = None,
     max_designs: Optional[int] = None,
+    cache: Optional[EvaluationCache] = None,
+    slow: bool = False,
 ) -> List[EvaluatedDesign]:
     """Synthesize and test every member of the estimated Pareto front.
 
     Parameters
     ----------
+    clock_period_ms:
+        Target clock period; pass the dataset's registry value
+        (``get_spec(name).clock_period_ms``).  ``None`` falls back to
+        the 200 ms default.
     max_designs:
         Optional cap on how many front members to synthesize (front
         members are taken in ascending-area order), useful in CI runs.
+    cache:
+        Optional shared evaluation cache (typically the one the GA stage
+        populated); decoded models, test accuracies and hardware reports
+        are read from and written back to it.
+    slow:
+        Use the scalar per-model reference path (decode + forward +
+        synthesize one member at a time); retained as the oracle for the
+        batching equivalence tests.
     """
-    designs: List[EvaluatedDesign] = []
+    if clock_period_ms is None:
+        clock_period_ms = DEFAULT_CLOCK_PERIOD_MS
     front = result.estimated_front
     if max_designs is not None:
         front = front[:max_designs]
+    if not front:
+        return []
+
+    if slow:
+        designs: List[EvaluatedDesign] = []
+        for point in front:
+            mlp = result.decode(point)
+            accuracy = mlp.accuracy(test_inputs, test_labels)
+            report = synthesize_approximate_mlp(
+                mlp,
+                library=library,
+                voltage=voltage,
+                clock_period_ms=clock_period_ms,
+                slow=True,
+            )
+            designs.append(
+                EvaluatedDesign(point=point, test_accuracy=accuracy, report=report)
+            )
+        return designs
+
+    from repro.hardware.fast_synthesis import synthesize_approximate_population
+
+    # Resolve each member's decoded model, reusing the GA stage's work.
+    # Cache keys carry the layout identity (decode semantics) alongside
+    # the genome bytes, matching how the fitness evaluator stored them.
+    layout_key = EvaluationCache.layout_key(result.layout) if cache is not None else None
+    keys: List[Optional[tuple]] = []
+    models: List[ApproximateMLP] = []
     for point in front:
-        mlp = result.decode(point)
-        accuracy = mlp.accuracy(test_inputs, test_labels)
-        report = synthesize_approximate_mlp(
-            mlp, library=library, voltage=voltage, clock_period_ms=clock_period_ms
+        key = (
+            (layout_key, EvaluationCache.genome_key(np.asarray(point.payload)))
+            if cache is not None and point.payload is not None
+            else None
         )
-        designs.append(EvaluatedDesign(point=point, test_accuracy=accuracy, report=report))
-    return designs
+        model = cache.models.get(key) if key is not None else None
+        if model is None:
+            model = result.decode(point)
+            if key is not None:
+                cache.models.put(key, model)
+        keys.append(key)
+        models.append(model)
+
+    # Test accuracy: one batched forward pass over the members whose
+    # accuracy is not already cached for this split.
+    accuracies: List[Optional[float]] = [None] * len(front)
+    if cache is not None:
+        split = EvaluationCache.split_fingerprint(test_inputs, test_labels)
+        for index, key in enumerate(keys):
+            if key is not None:
+                accuracies[index] = cache.accuracy.get((key, split))
+    missing = [index for index, value in enumerate(accuracies) if value is None]
+    if missing:
+        fresh = accuracy_population(
+            [models[index] for index in missing], test_inputs, test_labels
+        )
+        for index, accuracy in zip(missing, fresh.tolist()):
+            accuracies[index] = float(accuracy)
+            if cache is not None and keys[index] is not None:
+                cache.accuracy.put((keys[index], split), float(accuracy))
+
+    # Hardware reports: one batched synthesis pass over the members
+    # without a cached report at this operating point.  The report key
+    # carries no library identity, so the cache is only consulted for
+    # the default EGFET library — a custom library always re-prices.
+    reports: List[Optional[HardwareReport]] = [None] * len(front)
+    report_cache = cache.reports if cache is not None and library is None else None
+    if report_cache is not None:
+        for index, key in enumerate(keys):
+            if key is not None:
+                reports[index] = report_cache.get(
+                    EvaluationCache.report_key(key, voltage, clock_period_ms)
+                )
+    missing = [index for index, report in enumerate(reports) if report is None]
+    if missing:
+        fresh_reports = synthesize_approximate_population(
+            [models[index] for index in missing],
+            library=library,
+            voltage=voltage,
+            clock_period_ms=clock_period_ms,
+        )
+        for index, report in zip(missing, fresh_reports):
+            reports[index] = report
+            if report_cache is not None and keys[index] is not None:
+                report_cache.put(
+                    EvaluationCache.report_key(keys[index], voltage, clock_period_ms),
+                    report,
+                )
+
+    return [
+        EvaluatedDesign(point=point, test_accuracy=accuracy, report=report)
+        for point, accuracy, report in zip(front, accuracies, reports)
+    ]
 
 
 def true_pareto_front(designs: Sequence[EvaluatedDesign]) -> List[EvaluatedDesign]:

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Union
 
-from repro.baselines.approx_tc23 import explore_tc23
 from repro.baselines.stochastic_date21 import StochasticConfig, StochasticMLP
 from repro.baselines.vos_tcad23 import explore_vos
 from repro.evaluation.report import format_table, reduction_factor
@@ -65,15 +64,9 @@ def run_fig4(
         selected = approx.selected
         add_row("ours", selected.test_accuracy, selected.area_cm2, selected.power_mw)
 
-        # TC'23 post-training approximation.
-        tc_model, tc_report, _ = explore_tc23(
-            baseline.bespoke,
-            x_test,
-            y_test,
-            baseline_accuracy=baseline.test_accuracy,
-            max_accuracy_loss=max_accuracy_loss,
-            clock_period_ms=spec.clock_period_ms,
-        )
+        # TC'23 post-training approximation (sweep shared with Fig. 5
+        # through the pipeline's memo).
+        tc_model, tc_report, _ = pipeline.tc23(name, max_accuracy_loss=max_accuracy_loss)
         if tc_model is not None and tc_report is not None:
             add_row("tc23", tc_model.accuracy(x_test, y_test), tc_report.area_cm2, tc_report.power_mw)
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Union
 
-from repro.baselines.approx_tc23 import explore_tc23
 from repro.evaluation.feasibility import assess_feasibility
 from repro.evaluation.report import format_table
 from repro.experiments.config import ExperimentScale
@@ -42,19 +41,12 @@ def run_fig5(
         result = pipeline.approximate(name, max_accuracy_loss=max_accuracy_loss)
         spec = result.spec
         baseline = result.baseline
-        x_test, y_test = result.dataset.quantized_test()
 
         entries = []
         entries.append(("baseline_micro20", baseline.report, 1.0))
 
-        tc_model, tc_report, _ = explore_tc23(
-            baseline.bespoke,
-            x_test,
-            y_test,
-            baseline_accuracy=baseline.test_accuracy,
-            max_accuracy_loss=max_accuracy_loss,
-            clock_period_ms=spec.clock_period_ms,
-        )
+        # Sweep shared with Fig. 4 through the pipeline's memo.
+        _, tc_report, _ = pipeline.tc23(name, max_accuracy_loss=max_accuracy_loss)
         if tc_report is not None:
             entries.append(("tc23", tc_report, 1.0))
 

@@ -16,12 +16,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.baselines.approx_tc23 import Tc23ApproximateMLP, explore_tc23
 from repro.baselines.exact_bespoke import BespokeMLP, train_exact_baseline
 from repro.baselines.gradient import FloatMLP, GradientTrainer
+from repro.core.cache import EvaluationCache
 from repro.core.trainer import GAConfig, GAResult, GATrainer
 from repro.datasets.dataset import Dataset
 from repro.datasets.registry import DatasetSpec, get_spec, load_dataset
@@ -57,6 +59,9 @@ class ApproximateResult:
     designs: List[EvaluatedDesign]
     selected: Optional[EvaluatedDesign]
     training_seconds: float
+    #: Evaluation cache shared between the GA, front-synthesis and
+    #: reporting stages (decoded models, accuracies, hardware reports).
+    cache: Optional[EvaluationCache] = None
 
     @property
     def true_front(self) -> List[EvaluatedDesign]:
@@ -80,6 +85,10 @@ class DatasetPipeline:
     def __init__(self, scale: ExperimentScale | str = "ci") -> None:
         self.scale = get_scale(scale) if isinstance(scale, str) else scale
         self._cache: Dict[str, PipelineResult] = {}
+        self._tc23_cache: Dict[
+            Tuple[str, float],
+            Tuple[Optional[Tc23ApproximateMLP], Optional[HardwareReport], List[dict]],
+        ] = {}
 
     # ------------------------------------------------------------------
     def dataset(self, name: str) -> PipelineResult:
@@ -94,6 +103,28 @@ class DatasetPipeline:
         if result.approximate is None:
             result.approximate = self._train_approximate(result, max_accuracy_loss)
         return result
+
+    def tc23(
+        self, name: str, max_accuracy_loss: float = 0.05
+    ) -> Tuple[Optional[Tc23ApproximateMLP], Optional[HardwareReport], List[dict]]:
+        """TC'23 design-space sweep for one dataset (cached).
+
+        Both Fig. 4 and Fig. 5 need the TC'23 baseline; sharing the sweep
+        here means its circuits are synthesized exactly once per run.
+        """
+        key = (name, max_accuracy_loss)
+        if key not in self._tc23_cache:
+            result = self.dataset(name)
+            x_test, y_test = result.dataset.quantized_test()
+            self._tc23_cache[key] = explore_tc23(
+                result.baseline.bespoke,
+                x_test,
+                y_test,
+                baseline_accuracy=result.baseline.test_accuracy,
+                max_accuracy_loss=max_accuracy_loss,
+                clock_period_ms=result.spec.clock_period_ms,
+            )
+        return self._tc23_cache[key]
 
     def results(self, approximate: bool = False) -> List[PipelineResult]:
         """Run the pipeline on every dataset of the scale."""
@@ -144,12 +175,18 @@ class DatasetPipeline:
             n_workers=self.scale.ga_workers,
         )
         trainer = GATrainer(spec.mlp_topology, ga_config=ga_config)
+        # One evaluation cache spans the GA, front-synthesis and
+        # reporting stages: genomes the GA decoded and forwarded are
+        # never decoded again downstream, and every hardware report is
+        # synthesized at most once per operating point.
+        cache = EvaluationCache()
         start = time.perf_counter()
         ga_result = trainer.train(
             x_train,
             y_train,
             baseline_accuracy=result.baseline.train_accuracy,
             seed_model=result.baseline.float_model,
+            cache=cache,
         )
         elapsed = time.perf_counter() - start
 
@@ -159,6 +196,7 @@ class DatasetPipeline:
             y_test,
             clock_period_ms=spec.clock_period_ms,
             max_designs=self.scale.max_front_designs,
+            cache=cache,
         )
         selected = select_design(
             designs,
@@ -170,4 +208,5 @@ class DatasetPipeline:
             designs=designs,
             selected=selected,
             training_seconds=elapsed,
+            cache=cache,
         )

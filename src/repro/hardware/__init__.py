@@ -49,6 +49,13 @@ from repro.hardware.power_sources import (
     classify_power_source,
 )
 from repro.hardware.fast_area import fast_mlp_fa_count
+from repro.hardware.fast_synthesis import (
+    fast_synthesize_approximate_mlp,
+    fast_synthesize_exact_mlp,
+    reduce_columns_adder_costs,
+    synthesize_approximate_population,
+    synthesize_exact_population,
+)
 from repro.hardware.netlist import Netlist, build_neuron_netlist
 from repro.hardware.simulator import simulate, verify_neuron_netlist
 
@@ -75,6 +82,11 @@ __all__ = [
     "PRINTED_POWER_SOURCES",
     "classify_power_source",
     "fast_mlp_fa_count",
+    "fast_synthesize_approximate_mlp",
+    "fast_synthesize_exact_mlp",
+    "reduce_columns_adder_costs",
+    "synthesize_approximate_population",
+    "synthesize_exact_population",
     "Netlist",
     "build_neuron_netlist",
     "simulate",

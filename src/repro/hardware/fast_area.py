@@ -16,6 +16,7 @@ from repro.approx.mlp import ApproximateMLP
 
 __all__ = [
     "layer_column_counts",
+    "population_layer_column_counts",
     "reduce_columns_fa_count",
     "reduce_columns_fa_count_reference",
     "layer_fa_count",
@@ -171,20 +172,28 @@ def fast_mlp_fa_count(mlp: ApproximateMLP) -> int:
     return total
 
 
-def _population_layer_fa_counts(
+def population_layer_column_counts(
     masks: np.ndarray,
     exponents: np.ndarray,
     biases: np.ndarray,
     input_bits: int,
     bias_bits: int = 16,
 ) -> np.ndarray:
-    """Per-candidate FA counts of one layer position, stacked.
+    """Column histograms of every neuron of a stacked population layer.
 
     ``masks``/``exponents`` have shape ``(P, fan_in, fan_out)`` and
     ``biases`` ``(P, fan_out)``; the column histogram of the whole stack
-    is built with one flat bincount and reduced with one shared 3:2
-    sweep, so the cost per candidate is a few vectorized operations.
+    is built with one flat bincount.  Returns an array of shape
+    ``(width, P * fan_out)`` where column ``p * fan_out + j`` is the
+    histogram of neuron ``j`` of candidate ``p``.
+
+    ``bias_bits`` bounds the bias magnitude bits that are scanned; pass
+    ``int(np.abs(biases).max()).bit_length()`` for exact coverage of
+    arbitrary biases.
     """
+    masks = np.asarray(masks, dtype=np.int64)
+    exponents = np.asarray(exponents, dtype=np.int64)
+    biases = np.asarray(biases, dtype=np.int64)
     population, fan_in, fan_out = masks.shape
     columns_per_slice = population * fan_out
     max_exp = int(exponents.max(initial=0))
@@ -206,6 +215,26 @@ def _population_layer_fa_counts(
     counts[:bias_bits, :] += (
         np.abs(biases).reshape(columns_per_slice)[None, :] >> bias_bit_range
     ) & 1
+    return counts
+
+
+def _population_layer_fa_counts(
+    masks: np.ndarray,
+    exponents: np.ndarray,
+    biases: np.ndarray,
+    input_bits: int,
+    bias_bits: int = 16,
+) -> np.ndarray:
+    """Per-candidate FA counts of one layer position, stacked.
+
+    The column histogram of the whole stack is built with one flat
+    bincount and reduced with one shared 3:2 sweep, so the cost per
+    candidate is a few vectorized operations.
+    """
+    population, fan_in, fan_out = masks.shape
+    counts = population_layer_column_counts(
+        masks, exponents, biases, input_bits, bias_bits=bias_bits
+    )
     per_neuron = reduce_columns_fa_count(counts)
     return per_neuron.reshape(population, fan_out).sum(axis=1)
 

@@ -1,0 +1,633 @@
+"""Population-batched hardware synthesis engine.
+
+The scalar analyzers in :mod:`repro.hardware.synthesis` walk one MLP at
+a time: every neuron's adder tree is reduced with a Python column loop,
+which is fine for a single report but dominates end-to-end runtime once
+the estimated Pareto front (hundreds of members) and the baseline design
+sweeps (TC'23 / VOS grids) have to be synthesized.  This module computes
+the same :class:`~repro.hardware.synthesis.HardwareReport` values for a
+whole population in one pass:
+
+* every neuron of every candidate (and, for the approximate path, every
+  layer position) contributes one column of a single histogram matrix,
+* one shared Half-Adder-aware 3:2 reduction sweep
+  (:func:`reduce_columns_adder_costs`) yields per-neuron FA / HA / CPA /
+  stage counts, and
+* cell counting, EGFET pricing and critical-path accumulation are numpy
+  reductions that replicate the scalar code's float operation order, so
+  the reports are **bit-identical** to the scalar oracle
+  (``synthesize_approximate_mlp(..., slow=True)`` /
+  ``synthesize_exact_mlp(..., slow=True)``), which the randomized suite
+  in ``tests/test_fast_synthesis.py`` asserts.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.approx.masks import mask_popcount
+from repro.approx.mlp import ApproximateMLP
+from repro.hardware.area import (
+    argmax_cell_counts,
+    csd_encode,
+    merge_cell_counts,
+    qrelu_cell_counts,
+    register_cell_counts,
+)
+from repro.hardware.egfet import EGFETLibrary, default_egfet_library
+from repro.hardware.fast_area import population_layer_column_counts
+from repro.hardware.synthesis import (
+    DEFAULT_CLOCK_PERIOD_MS,
+    HardwareReport,
+    _breakdown_area,
+    _price,
+)
+
+__all__ = [
+    "reduce_columns_adder_costs",
+    "synthesize_approximate_population",
+    "fast_synthesize_approximate_mlp",
+    "synthesize_exact_population",
+    "fast_synthesize_exact_mlp",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared Half-Adder-aware 3:2 reduction
+# ----------------------------------------------------------------------
+def reduce_columns_adder_costs(
+    counts: np.ndarray,
+    use_half_adders: bool = True,
+    include_final_cpa: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Adder costs of many independent adder trees in one shared sweep.
+
+    The input is a ``(width, n)`` matrix whose column ``j`` is the column
+    histogram of tree ``j``.  Returns four ``(n,)`` int64 arrays
+    ``(full_adders, half_adders, cpa_full_adders, reduction_stages)``,
+    each exactly equal to the fields of
+    :func:`repro.hardware.adder_tree.count_adders_from_columns` run on
+    that column alone.
+
+    Trees that are already reduced (every column holds at most two bits)
+    are a fixed point of the update — ``fas`` and ``has`` are zero for
+    them — so a single loop over the global worst case cannot disturb
+    finished trees, and each tree's stage counter only advances while
+    that tree is still active.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 2:
+        raise ValueError("counts must be a (width, n) matrix")
+    if np.any(counts < 0):
+        raise ValueError("column counts must be non-negative")
+    width, n = counts.shape
+    full_adders = np.zeros(n, dtype=np.int64)
+    half_adders = np.zeros(n, dtype=np.int64)
+    stages = np.zeros(n, dtype=np.int64)
+    if width == 0 or n == 0:
+        return full_adders, half_adders, np.zeros(n, dtype=np.int64), stages
+
+    # Same headroom argument as reduce_columns_fa_count: the peak shrinks
+    # by at least a third per round while the top nonzero row climbs at
+    # most one row per round.
+    peak = int(counts.max())
+    rounds_bound = 1
+    while peak > 2:
+        peak -= peak // 3
+        rounds_bound += 1
+    buffer = np.zeros((width + rounds_bound, n), dtype=np.int64)
+    buffer[:width] = counts
+
+    while True:
+        active = buffer.max(axis=0) > 2
+        if not active.any():
+            break
+        if buffer[-1].any():
+            # Safety net: keep an all-zero top row so no carry can fall off.
+            buffer = np.concatenate(
+                [buffer, np.zeros((4, n), dtype=np.int64)], axis=0
+            )
+        stages += active
+        fas = buffer // 3
+        remainder = buffer - 3 * fas
+        if use_half_adders:
+            # A leftover pair next to FA-reduced bits is squeezed with a
+            # half adder (same rule as the scalar reducer).
+            has = ((remainder == 2) & (fas > 0)).astype(np.int64)
+        else:
+            has = np.zeros_like(fas)
+        full_adders += fas.sum(axis=0)
+        half_adders += has.sum(axis=0)
+        # A column of height 3f+r keeps f sum bits plus its leftovers —
+        # the HA swap is count-neutral in place — and sends one carry per
+        # FA and per HA into the next column.
+        buffer -= 2 * fas
+        buffer[1:] += (fas + has)[:-1]
+
+    if include_final_cpa:
+        cpa = (buffer == 2).sum(axis=0).astype(np.int64)
+    else:
+        cpa = np.zeros(n, dtype=np.int64)
+    return full_adders, half_adders, cpa, stages
+
+
+def _pad_and_concat(blocks: Sequence[np.ndarray]) -> Tuple[np.ndarray, List[int]]:
+    """Stack count matrices of different widths into one reduction batch."""
+    max_width = max(block.shape[0] for block in blocks)
+    merged = np.concatenate(
+        [
+            np.pad(block, ((0, max_width - block.shape[0]), (0, 0)))
+            for block in blocks
+        ],
+        axis=1,
+    )
+    offsets = np.cumsum([0] + [block.shape[1] for block in blocks]).tolist()
+    return merged, offsets
+
+
+# ----------------------------------------------------------------------
+# Vectorized cell-count / pricing helpers
+# ----------------------------------------------------------------------
+# Cell counting reuses merge_cell_counts verbatim: its scalar
+# ``merged.get(cell, 0.0) + count`` accumulation is exact for
+# integer-valued float64 arrays as well, and using the same function
+# guarantees the same key insertion order as the scalar analyzers.
+
+
+def _breakdown_area_vec(
+    counts: Mapping[str, np.ndarray], library: EGFETLibrary, population: int
+) -> np.ndarray:
+    total: Union[float, np.ndarray] = np.zeros(population, dtype=np.float64)
+    for cell, count in counts.items():
+        total = total + library.cell(cell).area_cm2 * count
+    return np.asarray(total, dtype=np.float64)
+
+
+def _price_vec(
+    counts: Mapping[str, np.ndarray],
+    library: EGFETLibrary,
+    voltage: float,
+    population: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`repro.hardware.synthesis._price` (same op order)."""
+    area = np.zeros(population, dtype=np.float64)
+    power = np.zeros(population, dtype=np.float64)
+    factor = library.voltage_power_factor(voltage)
+    for cell, count in counts.items():
+        spec = library.cell(cell)
+        area = area + spec.area_cm2 * count
+        power = power + (spec.power_mw * count) * factor
+    return area, power
+
+
+# ----------------------------------------------------------------------
+# Approximate MLPs (population-batched)
+# ----------------------------------------------------------------------
+def synthesize_approximate_population(
+    mlps: Sequence[ApproximateMLP],
+    library: Optional[EGFETLibrary] = None,
+    voltage: float = 1.0,
+    clock_period_ms: Optional[float] = None,
+    include_registers: bool = False,
+) -> List[HardwareReport]:
+    """Hardware analysis of a homogeneous population in one pass.
+
+    Returns one report per model, bit-identical to calling
+    ``synthesize_approximate_mlp(mlp, ..., slow=True)`` on each.
+    """
+    if clock_period_ms is None:
+        clock_period_ms = DEFAULT_CLOCK_PERIOD_MS
+    mlps = list(mlps)
+    if not mlps:
+        return []
+    library = library or default_egfet_library()
+    sizes = mlps[0].topology.sizes
+    config = mlps[0].config
+    if any(m.topology.sizes != sizes or m.config != config for m in mlps):
+        raise ValueError(
+            "synthesize_approximate_population requires a homogeneous population"
+        )
+    population = len(mlps)
+    num_layers = len(mlps[0].layers)
+
+    # One column-histogram block per layer position, one shared reduction
+    # sweep for every adder tree of every candidate.
+    stacked = []
+    blocks: List[np.ndarray] = []
+    for layer_index in range(num_layers):
+        layers = [m.layers[layer_index] for m in mlps]
+        masks = np.stack([layer.masks for layer in layers])
+        exponents = np.stack([layer.exponents for layer in layers])
+        biases = np.stack([layer.biases for layer in layers])
+        signs = np.stack([layer.signs for layer in layers])
+        bias_bits = max(int(np.abs(biases).max(initial=0)).bit_length(), 1)
+        blocks.append(
+            population_layer_column_counts(
+                masks, exponents, biases, layers[0].input_bits, bias_bits=bias_bits
+            )
+        )
+        stacked.append((layers, masks, exponents, biases, signs))
+    merged, offsets = _pad_and_concat(blocks)
+    fa_all, ha_all, cpa_all, stages_all = reduce_columns_adder_costs(
+        merged, use_half_adders=True, include_final_cpa=True
+    )
+
+    delay_fa = library.delay("FA", voltage=voltage)
+    delay_or2 = library.delay("OR2", voltage=voltage)
+    totals: Dict[str, np.ndarray] = {}
+    breakdown: Dict[str, np.ndarray] = {}
+    critical = np.zeros(population, dtype=np.float64)
+
+    for layer_index in range(num_layers):
+        layers, masks, exponents, biases, signs = stacked[layer_index]
+        fan_out = layers[0].fan_out
+        is_output = layer_index == num_layers - 1
+        lo, hi = offsets[layer_index], offsets[layer_index + 1]
+        layer_fa = fa_all[lo:hi].reshape(population, fan_out)
+        layer_ha = ha_all[lo:hi].reshape(population, fan_out)
+        layer_cpa = cpa_all[lo:hi].reshape(population, fan_out)
+        layer_stages = stages_all[lo:hi].reshape(population, fan_out)
+
+        adder_counts = {
+            "FA": (layer_fa + layer_cpa).sum(axis=1).astype(np.float64),
+            "HA": layer_ha.sum(axis=1).astype(np.float64),
+        }
+        inverted = (
+            mask_popcount(np.where(signs < 0, masks, 0))
+            .reshape(population, -1)
+            .sum(axis=1)
+        )
+        sign_counts = {"INV": inverted.astype(np.float64)}
+
+        # Per-candidate accumulator width (same formula as the scalar
+        # path via the layer's accumulator bounds).
+        magnitudes = masks << exponents
+        positive = (magnitudes * (signs > 0)).sum(axis=1)
+        negative = (magnitudes * (signs < 0)).sum(axis=1)
+        low = -negative + np.minimum(biases, 0)
+        high = positive + np.maximum(biases, 0)
+        span = np.maximum(
+            np.maximum(np.abs(low), np.abs(high)).max(axis=1), 1
+        )
+        acc_bits = (np.ceil(np.log2(span + 1)) + 1).astype(np.int64)
+
+        activation_counts: Dict[str, np.ndarray]
+        if not is_output:
+            shifts = np.array(
+                [
+                    layer.activation.shift if layer.activation is not None else 0
+                    for layer in layers
+                ],
+                dtype=np.int64,
+            )
+            out_bits = np.array(
+                [
+                    layer.activation.out_bits if layer.activation is not None else 8
+                    for layer in layers
+                ],
+                dtype=np.int64,
+            )
+            excess = np.maximum(acc_bits - shifts - out_bits, 0)
+            or_tree = np.maximum(excess - 1, 0) + (excess > 0)
+            activation_counts = {
+                "OR2": (or_tree + out_bits).astype(np.float64) * fan_out,
+                "AND2": out_bits.astype(np.float64) * fan_out,
+                "INV": np.full(population, float(fan_out)),
+            }
+        elif fan_out == 1:
+            activation_counts = {}
+        else:
+            comparator_stages = fan_out - 1
+            index_bits = int(np.ceil(np.log2(fan_out)))
+            score = comparator_stages * acc_bits
+            activation_counts = {
+                "XOR2": score.astype(np.float64),
+                "AND2": score.astype(np.float64),
+                "OR2": score.astype(np.float64),
+                "MUX2": (comparator_stages * (acc_bits + index_bits)).astype(
+                    np.float64
+                ),
+            }
+
+        layer_counts = merge_cell_counts(adder_counts, sign_counts, activation_counts)
+        totals = merge_cell_counts(totals, layer_counts)
+        breakdown[f"layer{layer_index}_adders"] = _breakdown_area_vec(
+            adder_counts, library, population
+        )
+        breakdown[f"layer{layer_index}_signs"] = _breakdown_area_vec(
+            sign_counts, library, population
+        )
+        breakdown[f"layer{layer_index}_activation"] = _breakdown_area_vec(
+            activation_counts, library, population
+        )
+
+        cpa_length = np.maximum(layer_cpa.sum(axis=1) // max(fan_out, 1), 1)
+        critical += (
+            layer_stages.max(axis=1) * delay_fa
+            + cpa_length * delay_fa
+            + 2 * delay_or2
+        )
+
+    if include_registers:
+        input_bits_total = mlps[0].topology.num_inputs * config.input_bits
+        num_outputs = mlps[0].topology.num_outputs
+        output_bits = (
+            int(np.ceil(np.log2(num_outputs))) if num_outputs > 1 else 1
+        )
+        reg_counts = {
+            cell: np.full(population, count)
+            for cell, count in register_cell_counts(
+                input_bits_total, output_bits
+            ).items()
+        }
+        totals = merge_cell_counts(totals, reg_counts)
+        breakdown["registers"] = _breakdown_area_vec(reg_counts, library, population)
+        critical += 2 * library.delay("DFF", voltage=voltage)
+
+    area, power = _price_vec(totals, library, voltage, population)
+    reports: List[HardwareReport] = []
+    for index in range(population):
+        reports.append(
+            HardwareReport(
+                area_cm2=float(area[index]),
+                power_mw=float(power[index]),
+                delay_ms=float(critical[index]),
+                voltage=voltage,
+                clock_period_ms=clock_period_ms,
+                cell_counts={
+                    cell: float(count[index]) for cell, count in totals.items()
+                },
+                area_breakdown={
+                    component: float(values[index])
+                    for component, values in breakdown.items()
+                },
+            )
+        )
+    return reports
+
+
+def fast_synthesize_approximate_mlp(
+    mlp: ApproximateMLP,
+    library: Optional[EGFETLibrary] = None,
+    voltage: float = 1.0,
+    clock_period_ms: Optional[float] = None,
+    include_registers: bool = False,
+) -> HardwareReport:
+    """Single-model convenience wrapper over the population path."""
+    return synthesize_approximate_population(
+        [mlp],
+        library=library,
+        voltage=voltage,
+        clock_period_ms=clock_period_ms,
+        include_registers=include_registers,
+    )[0]
+
+
+# ----------------------------------------------------------------------
+# Exact bespoke MLPs (population-batched, heterogeneous jobs)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=65536)
+def _csd_digit_info(code: int) -> Tuple[Tuple[int, ...], int]:
+    """Cached CSD digit positions and negative-digit count of a code."""
+    digits = csd_encode(code)
+    positions = tuple(position for position, _ in digits)
+    negatives = sum(1 for _, digit in digits if digit < 0)
+    return positions, negatives
+
+
+def _exact_layer_columns(
+    codes: np.ndarray, biases: np.ndarray, in_bits: int
+) -> Tuple[np.ndarray, int]:
+    """Column histograms of every neuron of one exact layer.
+
+    Returns ``(columns, inverter_bits)`` where ``columns`` has shape
+    ``(width, fan_out)`` and ``inverter_bits`` is the layer's NOT-gate
+    bit total (``in_bits`` per negative CSD digit, summed over weights).
+    Each CSD digit at position ``p`` contributes one shifted
+    ``in_bits``-wide copy of the input, i.e. ``+1`` on columns
+    ``[p, p + in_bits)`` — accumulated with a difference array and one
+    cumulative sum instead of per-weight slicing.
+    """
+    fan_in, fan_out = codes.shape
+    max_weight_bits = max(
+        int(np.abs(codes).max(initial=0)).bit_length(), 1
+    )
+    bias_mags = np.abs(biases)
+    max_bias_bits = max(int(bias_mags.max(initial=0)).bit_length(), 1)
+    width = in_bits + max_weight_bits + max_bias_bits + 2
+
+    diff = np.zeros((width + 1, fan_out), dtype=np.int64)
+    inverter_bits = 0
+    for value in np.unique(codes):
+        code = int(value)
+        if code == 0:
+            continue
+        positions, negatives = _csd_digit_info(code)
+        occurrences = (codes == value).sum(axis=0)
+        inverter_bits += in_bits * negatives * int(occurrences.sum())
+        for position in positions:
+            diff[position] += occurrences
+            diff[position + in_bits] -= occurrences
+    columns = np.cumsum(diff[:-1], axis=0)
+
+    bias_bit_range = np.arange(max_bias_bits, dtype=np.int64)[:, None]
+    columns[:max_bias_bits] += (bias_mags[None, :] >> bias_bit_range) & 1
+    return columns, inverter_bits
+
+
+def synthesize_exact_population(
+    jobs: Sequence[Mapping[str, object]],
+    library: Optional[EGFETLibrary] = None,
+    voltage: Union[float, Sequence[float]] = 1.0,
+    clock_period_ms: Optional[float] = None,
+    include_registers: bool = False,
+) -> List[HardwareReport]:
+    """Hardware analysis of many exact bespoke MLPs in one pass.
+
+    Each job is a mapping with the per-model arguments of
+    :func:`repro.hardware.synthesis.synthesize_exact_mlp`:
+    ``weight_codes``, ``bias_codes``, ``input_bits_per_layer`` and
+    optionally ``activation_bits`` (default 8) and ``activation_shifts``.
+    Jobs may be heterogeneous (different topologies / bit-widths — the
+    TC'23 and VOS design-space sweeps), and ``voltage`` may be a single
+    supply or one value per job (the VOS over-scaling grid).  All adder
+    trees of all jobs share one 3:2 reduction sweep.
+    """
+    if clock_period_ms is None:
+        clock_period_ms = DEFAULT_CLOCK_PERIOD_MS
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    library = library or default_egfet_library()
+    if np.isscalar(voltage):
+        voltages = [float(voltage)] * len(jobs)
+    else:
+        voltages = [float(v) for v in voltage]
+        if len(voltages) != len(jobs):
+            raise ValueError("one voltage per job is required")
+
+    # Phase 1: column histograms of every neuron of every layer of every
+    # job, gathered into one reduction batch.
+    prepared = []
+    blocks: List[np.ndarray] = []
+    for job in jobs:
+        weight_codes = [np.asarray(w, dtype=np.int64) for w in job["weight_codes"]]
+        bias_codes = [np.asarray(b, dtype=np.int64) for b in job["bias_codes"]]
+        input_bits_per_layer = [int(b) for b in job["input_bits_per_layer"]]
+        if not (
+            len(bias_codes) == len(input_bits_per_layer) == len(weight_codes)
+        ):
+            raise ValueError(
+                "weight_codes, bias_codes and input_bits_per_layer must align"
+            )
+        layer_meta = []
+        for codes, biases, in_bits in zip(
+            weight_codes, bias_codes, input_bits_per_layer
+        ):
+            columns, inverter_bits = _exact_layer_columns(codes, biases, in_bits)
+            blocks.append(columns)
+            layer_meta.append((codes, biases, in_bits, inverter_bits))
+        prepared.append(
+            (
+                layer_meta,
+                int(job.get("activation_bits", 8)),
+                job.get("activation_shifts"),
+            )
+        )
+    merged, offsets = _pad_and_concat(blocks)
+    fa_all, ha_all, cpa_all, stages_all = reduce_columns_adder_costs(
+        merged, use_half_adders=True, include_final_cpa=True
+    )
+
+    # Phase 2: per-job cell counting, pricing and critical path — the
+    # same (cheap) scalar assembly as the reference implementation, fed
+    # with the batched per-neuron adder costs.
+    reports: List[HardwareReport] = []
+    block_index = 0
+    for (layer_meta, activation_bits, activation_shifts), job_voltage in zip(
+        prepared, voltages
+    ):
+        num_layers = len(layer_meta)
+        num_inputs = int(layer_meta[0][0].shape[0])
+        num_outputs = int(layer_meta[-1][0].shape[1])
+        total_counts: Dict[str, float] = {}
+        area_breakdown: Dict[str, float] = {}
+        critical_path_ms = 0.0
+        for layer_index, (codes, biases, in_bits, inverter_bits) in enumerate(
+            layer_meta
+        ):
+            fan_in, fan_out = codes.shape
+            is_output = layer_index == num_layers - 1
+            lo, hi = offsets[block_index], offsets[block_index + 1]
+            block_index += 1
+            neuron_fa = fa_all[lo:hi]
+            neuron_ha = ha_all[lo:hi]
+            neuron_cpa = cpa_all[lo:hi]
+            neuron_stages = stages_all[lo:hi]
+
+            adder_counts = {
+                "FA": float((neuron_fa + neuron_cpa).sum()),
+                "HA": float(neuron_ha.sum()),
+            }
+            sign_counts = {"INV": float(inverter_bits)}
+            max_stage = int(neuron_stages.max(initial=0))
+            max_cpa = max(int(neuron_cpa.max(initial=1)), 1)
+            worst_acc = (
+                np.abs(codes) * ((1 << in_bits) - 1)
+            ).sum(axis=0) + np.abs(biases)
+            acc_bits_layer = int(
+                max(
+                    (np.ceil(np.log2(worst_acc + 1)).astype(np.int64) + 1).max(
+                        initial=1
+                    ),
+                    1,
+                )
+            )
+
+            if not is_output:
+                shift = (
+                    int(activation_shifts[layer_index])
+                    if activation_shifts is not None
+                    else max(acc_bits_layer - activation_bits, 0)
+                )
+                per_neuron = qrelu_cell_counts(acc_bits_layer, shift, activation_bits)
+                activation_counts = {
+                    cell: count * fan_out for cell, count in per_neuron.items()
+                }
+            else:
+                activation_counts = argmax_cell_counts(fan_out, acc_bits_layer)
+
+            layer_counts = merge_cell_counts(
+                adder_counts, sign_counts, activation_counts
+            )
+            total_counts = merge_cell_counts(total_counts, layer_counts)
+            area_breakdown[f"layer{layer_index}_mac_adders"] = _breakdown_area(
+                adder_counts, library
+            )
+            area_breakdown[f"layer{layer_index}_signs"] = _breakdown_area(
+                sign_counts, library
+            )
+            area_breakdown[f"layer{layer_index}_activation"] = _breakdown_area(
+                activation_counts, library
+            )
+            critical_path_ms += (
+                max_stage * library.delay("FA", voltage=job_voltage)
+                + max(max_cpa // max(fan_out, 1), 1)
+                * library.delay("FA", voltage=job_voltage)
+                + 2 * library.delay("OR2", voltage=job_voltage)
+            )
+
+        if include_registers:
+            in_reg_bits = num_inputs * layer_meta[0][2]
+            out_reg_bits = (
+                int(np.ceil(np.log2(num_outputs))) if num_outputs > 1 else 1
+            )
+            reg_counts = register_cell_counts(in_reg_bits, out_reg_bits)
+            total_counts = merge_cell_counts(total_counts, reg_counts)
+            area_breakdown["registers"] = _breakdown_area(reg_counts, library)
+            critical_path_ms += 2 * library.delay("DFF", voltage=job_voltage)
+
+        area, power = _price(total_counts, library, job_voltage)
+        reports.append(
+            HardwareReport(
+                area_cm2=area,
+                power_mw=power,
+                delay_ms=critical_path_ms,
+                voltage=job_voltage,
+                clock_period_ms=clock_period_ms,
+                cell_counts=total_counts,
+                area_breakdown=area_breakdown,
+            )
+        )
+    return reports
+
+
+def fast_synthesize_exact_mlp(
+    weight_codes: Sequence[np.ndarray],
+    bias_codes: Sequence[np.ndarray],
+    input_bits_per_layer: Sequence[int],
+    activation_bits: int = 8,
+    activation_shifts: Optional[Sequence[int]] = None,
+    library: Optional[EGFETLibrary] = None,
+    voltage: float = 1.0,
+    clock_period_ms: Optional[float] = None,
+    include_registers: bool = False,
+) -> HardwareReport:
+    """Single-model convenience wrapper over the exact population path."""
+    job = {
+        "weight_codes": weight_codes,
+        "bias_codes": bias_codes,
+        "input_bits_per_layer": input_bits_per_layer,
+        "activation_bits": activation_bits,
+        "activation_shifts": activation_shifts,
+    }
+    return synthesize_exact_population(
+        [job],
+        library=library,
+        voltage=voltage,
+        clock_period_ms=clock_period_ms,
+        include_registers=include_registers,
+    )[0]

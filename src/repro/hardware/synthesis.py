@@ -139,10 +139,34 @@ def synthesize_approximate_mlp(
     mlp: ApproximateMLP,
     library: Optional[EGFETLibrary] = None,
     voltage: float = 1.0,
-    clock_period_ms: float = DEFAULT_CLOCK_PERIOD_MS,
+    clock_period_ms: Optional[float] = None,
     include_registers: bool = False,
+    slow: bool = False,
 ) -> HardwareReport:
-    """Hardware analysis of a hardware-approximated MLP circuit."""
+    """Hardware analysis of a hardware-approximated MLP circuit.
+
+    ``clock_period_ms=None`` falls back to :data:`DEFAULT_CLOCK_PERIOD_MS`;
+    dataset-aware callers should pass the registry's per-dataset period
+    (``get_spec(name).clock_period_ms`` — Pendigits is clocked at 250 ms,
+    not the 200 ms default).
+
+    By default this delegates to the vectorized engine in
+    :mod:`repro.hardware.fast_synthesis`; ``slow=True`` runs the original
+    scalar walk below, which is retained as the reference oracle for the
+    equivalence tests.
+    """
+    if clock_period_ms is None:
+        clock_period_ms = DEFAULT_CLOCK_PERIOD_MS
+    if not slow:
+        from repro.hardware.fast_synthesis import synthesize_approximate_population
+
+        return synthesize_approximate_population(
+            [mlp],
+            library=library,
+            voltage=voltage,
+            clock_period_ms=clock_period_ms,
+            include_registers=include_registers,
+        )[0]
     library = library or default_egfet_library()
     total_counts: Dict[str, float] = {}
     breakdown: Dict[str, float] = {}
@@ -225,10 +249,15 @@ def synthesize_exact_mlp(
     activation_shifts: Optional[Sequence[int]] = None,
     library: Optional[EGFETLibrary] = None,
     voltage: float = 1.0,
-    clock_period_ms: float = DEFAULT_CLOCK_PERIOD_MS,
+    clock_period_ms: Optional[float] = None,
     include_registers: bool = False,
+    slow: bool = False,
 ) -> HardwareReport:
     """Hardware analysis of an exact bespoke baseline MLP circuit.
+
+    Like :func:`synthesize_approximate_mlp`, the default path delegates
+    to the vectorized engine (``slow=True`` keeps the scalar oracle) and
+    ``clock_period_ms=None`` falls back to :data:`DEFAULT_CLOCK_PERIOD_MS`.
 
     Parameters
     ----------
@@ -245,6 +274,22 @@ def synthesize_exact_mlp(
         Right shift of each hidden layer's QReLU (defaults to a
         worst-case-derived value when omitted).
     """
+    if clock_period_ms is None:
+        clock_period_ms = DEFAULT_CLOCK_PERIOD_MS
+    if not slow:
+        from repro.hardware.fast_synthesis import fast_synthesize_exact_mlp
+
+        return fast_synthesize_exact_mlp(
+            weight_codes=weight_codes,
+            bias_codes=bias_codes,
+            input_bits_per_layer=input_bits_per_layer,
+            activation_bits=activation_bits,
+            activation_shifts=activation_shifts,
+            library=library,
+            voltage=voltage,
+            clock_period_ms=clock_period_ms,
+            include_registers=include_registers,
+        )
     library = library or default_egfet_library()
     num_layers = len(weight_codes)
     if not (len(bias_codes) == len(input_bits_per_layer) == num_layers):
