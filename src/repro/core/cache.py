@@ -31,18 +31,67 @@ recency, so hot genomes — elites that reappear generation after
 generation — survive eviction pressure.  Sections also count hits and
 misses, which the tests use to assert that a full pipeline run performs
 zero redundant decode/forward/synthesis work.
+
+The cache is **disk-backed**: :meth:`EvaluationCache.save` snapshots the
+data sections (fitness, accuracy, reports — decoded models are
+deliberately excluded: they are large and cheap to rebuild from cached
+fitness work) into one versioned pickle, and
+:meth:`EvaluationCache.load` restores them.  Keys are fully
+self-namespacing — they embed the layout identity, the training split
+digest and the feasibility constraint — so snapshots taken from
+different datasets, scales or constraints can share a directory without
+colliding.  Loading is corruption-tolerant: a missing, truncated,
+garbage or version-mismatched file restores nothing instead of raising,
+so a crashed writer can never take down the next run.
 """
 
 from __future__ import annotations
 
+import hashlib
+import logging
+import os
+import pickle
+import tempfile
 from collections import OrderedDict
-from typing import Any, Hashable, List
+from pathlib import Path
+from typing import Any, Hashable, List, Union
 
 import numpy as np
 
-__all__ = ["LRUCache", "EvaluationCache"]
+__all__ = ["LRUCache", "EvaluationCache", "CACHE_FORMAT_VERSION"]
+
+_LOGGER = logging.getLogger(__name__)
 
 _MISSING = object()
+
+#: Magic marker + schema version of the on-disk snapshot format.  Bump
+#: the version whenever key structure or cached value types change; old
+#: snapshots are then ignored (never mis-read) by :meth:`EvaluationCache.load`.
+_SNAPSHOT_MAGIC = "repro-evaluation-cache"
+CACHE_FORMAT_VERSION = 1
+
+#: The only non-builtin globals a snapshot may reference.  Snapshot
+#: payloads are plain data (tuples, bytes, numbers, dicts) plus these
+#: frozen dataclasses; refusing everything else keeps a cache directory
+#: from being a code-execution vector (pickle runs ``__reduce__``
+#: payloads during load, *before* any magic/version check could reject
+#: them).
+_SAFE_SNAPSHOT_GLOBALS = {
+    ("repro.approx.config", "ApproxConfig"),
+    ("repro.core.fitness", "FitnessValues"),
+    ("repro.hardware.synthesis", "HardwareReport"),
+}
+
+
+class _SnapshotUnpickler(pickle.Unpickler):
+    """Unpickler restricted to the snapshot allowlist."""
+
+    def find_class(self, module: str, name: str):
+        if (module, name) in _SAFE_SNAPSHOT_GLOBALS:
+            return super().find_class(module, name)
+        raise pickle.UnpicklingError(
+            f"cache snapshot references disallowed global {module}.{name}"
+        )
 
 
 class LRUCache:
@@ -140,14 +189,25 @@ class EvaluationCache:
 
     @staticmethod
     def split_fingerprint(inputs: np.ndarray, labels: np.ndarray) -> Hashable:
-        """A compact identity for a dataset split, for accuracy keys."""
+        """A compact identity for a dataset split, for accuracy keys.
+
+        The content digest is a keyless BLAKE2b rather than Python's
+        built-in ``hash``: the built-in hash of ``bytes`` is salted per
+        process (``PYTHONHASHSEED``), which would make every persisted
+        key miss after a restart.  The digest is stable across processes
+        and machines, so disk-backed caches keep hitting.
+        """
         inputs = np.asarray(inputs)
         labels = np.asarray(labels)
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(np.ascontiguousarray(inputs).tobytes())
+        digest.update(np.ascontiguousarray(labels).tobytes())
         return (
             inputs.shape,
             labels.shape,
-            hash(np.ascontiguousarray(inputs).tobytes()),
-            hash(np.ascontiguousarray(labels).tobytes()),
+            str(inputs.dtype),
+            str(labels.dtype),
+            digest.hexdigest(),
         )
 
     @staticmethod
@@ -187,3 +247,99 @@ class EvaluationCache:
         self.models.clear()
         self.accuracy.clear()
         self.reports.clear()
+
+    # ------------------------------------------------------------------
+    # Disk persistence
+    # ------------------------------------------------------------------
+    #: Sections included in a disk snapshot.  ``models`` is excluded on
+    #: purpose: decoded MLPs (with bit-plane caches) are orders of
+    #: magnitude larger than fitness tuples and are rebuilt lazily from
+    #: the genomes anyway.
+    _PERSISTED_SECTIONS = ("fitness", "accuracy", "reports")
+
+    def save(self, path: Union[str, Path]) -> int:
+        """Snapshot the data sections to ``path``; returns entries written.
+
+        The write is atomic (temp file + rename), so a crash mid-save
+        leaves any previous snapshot intact.  Entries are stored in LRU
+        order (least recently used first), so a later :meth:`load` into
+        a smaller cache keeps the hottest entries.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        sections = {}
+        total = 0
+        for name in self._PERSISTED_SECTIONS:
+            entries = list(getattr(self, name)._data.items())
+            sections[name] = entries
+            total += len(entries)
+        payload = {
+            "magic": _SNAPSHOT_MAGIC,
+            "version": CACHE_FORMAT_VERSION,
+            "sections": sections,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return total
+
+    def load(self, path: Union[str, Path]) -> int:
+        """Restore a snapshot written by :meth:`save`; returns entries loaded.
+
+        Loading is corruption-tolerant and never raises on bad input: a
+        missing file, a truncated or garbage pickle, a foreign payload
+        or a format-version mismatch all restore zero entries (logged at
+        WARNING level, except the common missing-file case).
+        Deserialization is restricted to the snapshot allowlist
+        (:data:`_SAFE_SNAPSHOT_GLOBALS`), so a malicious file in the
+        cache directory cannot execute code during load.  Restored
+        entries go through the normal :meth:`LRUCache.put` path, so the
+        section bounds of *this* cache apply.
+        """
+        path = Path(path)
+        try:
+            with open(path, "rb") as handle:
+                payload = _SnapshotUnpickler(handle).load()
+        except FileNotFoundError:
+            return 0
+        except Exception as error:  # noqa: BLE001 - tolerate any corruption
+            _LOGGER.warning("ignoring unreadable cache snapshot %s: %s", path, error)
+            return 0
+        if not isinstance(payload, dict) or payload.get("magic") != _SNAPSHOT_MAGIC:
+            _LOGGER.warning("ignoring foreign cache snapshot %s", path)
+            return 0
+        if payload.get("version") != CACHE_FORMAT_VERSION:
+            _LOGGER.warning(
+                "ignoring cache snapshot %s with format version %r (expected %d)",
+                path,
+                payload.get("version"),
+                CACHE_FORMAT_VERSION,
+            )
+            return 0
+        total = 0
+        sections = payload.get("sections", {})
+        for name in self._PERSISTED_SECTIONS:
+            entries = sections.get(name, [])
+            section = getattr(self, name)
+            try:
+                for key, value in entries:
+                    section.put(key, value)
+                    total += 1
+            except (TypeError, ValueError) as error:
+                _LOGGER.warning(
+                    "ignoring malformed %r section of cache snapshot %s: %s",
+                    name,
+                    path,
+                    error,
+                )
+        return total

@@ -23,7 +23,7 @@ evaluations out across cores.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -222,18 +222,28 @@ class FitnessEvaluator:
         self.cache.models.put(self._model_key(genome), mlp)
         return values
 
-    def evaluate_population(self, population: Sequence[np.ndarray]) -> List[FitnessValues]:
+    def evaluate_population(
+        self, population: Union[np.ndarray, Sequence[np.ndarray]]
+    ) -> List[FitnessValues]:
         """Evaluate every chromosome of a population.
 
+        ``population`` may be an ``(n, genes)`` int64 matrix (the
+        trainer's native representation) or a sequence of gene vectors.
         The batch is deduplicated first — in-batch duplicates (elites,
         crossover clones) are folded onto one lookup and never counted
         twice — then resolved against the memo cache; only unique,
         never-seen genomes are decoded and forwarded (optionally on the
         worker pool).
         """
-        chromosomes = [
-            np.ascontiguousarray(c, dtype=np.int64) for c in population
-        ]
+        if isinstance(population, np.ndarray) and population.ndim == 2:
+            # Matrix-native population (the trainer's representation):
+            # one contiguous cast covers every row, so keying stays
+            # allocation-lean and no per-individual list is rebuilt.
+            chromosomes = list(np.ascontiguousarray(population, dtype=np.int64))
+        else:
+            chromosomes = [
+                np.ascontiguousarray(c, dtype=np.int64) for c in population
+            ]
         keys = [c.tobytes() for c in chromosomes]
 
         # Resolve against a batch-local map so cache eviction while

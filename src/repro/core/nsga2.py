@@ -29,6 +29,7 @@ __all__ = [
     "fast_non_dominated_sort_reference",
     "crowding_distance",
     "nsga2_sort_key",
+    "binary_tournament_winners",
 ]
 
 
@@ -203,6 +204,52 @@ def crowding_distance(objectives: np.ndarray) -> np.ndarray:
         gaps = (objectives[order[2:], obj] - objectives[order[:-2], obj]) / spread
         distance[order[1:-1]] += gaps
     return distance
+
+
+def binary_tournament_winners(
+    ranks: np.ndarray,
+    crowding: np.ndarray,
+    contestants: np.ndarray,
+    tie_coins: np.ndarray,
+) -> np.ndarray:
+    """Winners of a batch of binary tournaments, as one vectorized compare.
+
+    The NSGA-II mating criterion — lower rank wins, ties broken by larger
+    crowding distance, full ties by a coin flip — evaluated for a whole
+    batch at once.
+
+    Parameters
+    ----------
+    ranks / crowding:
+        Per-individual front index and crowding distance (as returned by
+        :func:`nsga2_sort_key`).
+    contestants:
+        ``(t, 2)`` population indices of each tournament's contestants.
+    tie_coins:
+        ``(t,)`` uniforms in ``[0, 1)``; a full tie picks the first
+        contestant iff its coin is below 0.5.
+
+    Returns
+    -------
+    ``(t,)`` array of winning population indices.
+    """
+    contestants = np.asarray(contestants, dtype=np.int64)
+    if contestants.ndim != 2 or contestants.shape[1] != 2:
+        raise ValueError(f"contestants must have shape (t, 2), got {contestants.shape}")
+    a = contestants[:, 0]
+    b = contestants[:, 1]
+    ranks = np.asarray(ranks)
+    crowding = np.asarray(crowding)
+    a_wins = np.where(
+        ranks[a] != ranks[b],
+        ranks[a] < ranks[b],
+        np.where(
+            crowding[a] != crowding[b],
+            crowding[a] > crowding[b],
+            np.asarray(tie_coins) < 0.5,
+        ),
+    )
+    return np.where(a_wins, a, b)
 
 
 def nsga2_sort_key(

@@ -11,18 +11,78 @@ The operators work directly on the integer gene vectors produced by
   the whole mask value, individual bits are flipped, which is the
   natural neighbourhood for the fine-grained pruning decision.  Sign,
   exponent and bias genes receive a random-reset / creep mutation.
+
+A selected gene is guaranteed to actually change: creep mutations
+*reflect* off the gene bounds instead of clipping back onto the current
+value, random resets resample from the range *excluding* the current
+value, and mask genes with zero mask bits (or frozen bounds) are never
+selected — so the effective mutation rate equals
+``mutation_probability`` instead of silently undershooting it.
+
+The whole variation pipeline is **matrix-native**:
+:meth:`GeneticOperators.make_offspring` takes the population as one
+``(n, genes)`` int64 matrix (a list of gene vectors is accepted and
+stacked), runs batched tournaments / crossover / mutation with pure
+numpy index arithmetic, and returns the offspring as a
+``(count, genes)`` matrix.  The original per-individual scalar walk is
+retained behind ``slow=True``: both paths consume the *same* pre-drawn
+random tensors (:class:`VariationDraws`), so for a given generator
+state they produce bit-identical offspring — which is what the
+randomized equivalence tests assert.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.chromosome import ChromosomeLayout
+from repro.core.nsga2 import binary_tournament_winners
 
-__all__ = ["GeneticOperators"]
+__all__ = ["GeneticOperators", "VariationDraws"]
+
+
+@dataclass(frozen=True)
+class VariationDraws:
+    """Every random draw of one :meth:`GeneticOperators.make_offspring` call.
+
+    All tensors are drawn up front, in a fixed order, so the vectorized
+    engine and the scalar ``slow=True`` oracle consume identical
+    randomness and therefore produce identical offspring.  Shapes use
+    ``p = num_pairs`` (each pair yields two children, ``c = 2 * p``) and
+    ``g = num_genes``.  The per-mutation value draws are *compact*: one
+    entry per selected gene (``k = (mutation_coins < rate).sum()``,
+    consumed in row-major order of the selection matrix), so the draw
+    volume scales with the mutation rate instead of with ``c * g``.
+    """
+
+    #: ``(c, 2)`` population indices of each tournament's contestants
+    #: (distinct within a row whenever the population has > 1 member).
+    contestants: np.ndarray
+    #: ``(c,)`` uniforms breaking full (rank, crowding) ties.
+    tie_coins: np.ndarray
+    #: ``(p,)`` uniforms deciding whether a pair undergoes crossover.
+    crossover_coins: np.ndarray
+    #: ``(x, g)`` uniforms — the gene-origin masks of the ``x`` pairs
+    #: that undergo uniform crossover, in pair order (empty for
+    #: one-point crossover).
+    crossover_mask: np.ndarray
+    #: ``(p,)`` cut positions (one-point crossover; empty for uniform).
+    crossover_points: np.ndarray
+    #: ``(c, g)`` uniforms selecting which genes mutate.
+    mutation_coins: np.ndarray
+    #: ``(k,)`` uniforms, one per selected gene in row-major order:
+    #: picks the mask bit to flip, or chooses creep vs random reset.
+    branch_coins: np.ndarray
+    #: ``(k,)`` uniforms, one per selected gene in row-major order:
+    #: chooses the creep direction, or draws the random-reset value.
+    value_coins: np.ndarray
+
+    @property
+    def num_pairs(self) -> int:
+        return int(self.crossover_coins.shape[0])
 
 
 @dataclass
@@ -62,7 +122,19 @@ class GeneticOperators:
             raise ValueError(f"unknown crossover kind {self.crossover!r}")
         if not 0.0 <= self.creep_fraction <= 1.0:
             raise ValueError("creep_fraction must lie in [0, 1]")
-        self._mask_bits = self.layout.mask_bits_per_gene
+        self._mask_bits = np.asarray(self.layout.mask_bits_per_gene, dtype=np.int64)
+        lower = np.asarray(self.layout.lower_bounds, dtype=np.int64)
+        upper = np.asarray(self.layout.upper_bounds, dtype=np.int64)
+        span = upper - lower
+        mask_flags = np.asarray(self.layout.mask_gene_flags, dtype=bool)
+        # Gene classes of the mutation kernel.  A mask gene is mutable
+        # only when it has at least one mask bit *and* open bounds (the
+        # ablations freeze mask genes by pinning lower == upper); a
+        # zero-bit or frozen gene is skipped outright instead of
+        # flipping a phantom bit and relying on clip to undo it.
+        self._flip_genes = mask_flags & (self._mask_bits > 0) & (span > 0)
+        self._binary_genes = ~mask_flags & (span == 1)
+        self._range_genes = ~mask_flags & (span >= 2)
 
     # ------------------------------------------------------------------
     # Selection
@@ -74,12 +146,17 @@ class GeneticOperators:
         crowding: np.ndarray,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        """Binary tournament by (rank, crowding distance)."""
+        """Binary tournament by (rank, crowding distance).
+
+        Single-item convenience API (draws its own randomness); the
+        offspring pipeline uses the batched
+        :func:`~repro.core.nsga2.binary_tournament_winners` instead.
+        """
         n = len(population)
         if n == 0:
             raise ValueError("population is empty")
         if n == 1:
-            return population[0].copy()
+            return np.array(population[0], dtype=np.int64)
         a, b = rng.choice(n, size=2, replace=False)
         if ranks[a] < ranks[b]:
             winner = a
@@ -91,7 +168,7 @@ class GeneticOperators:
             winner = b
         else:
             winner = a if rng.random() < 0.5 else b
-        return population[winner].copy()
+        return np.array(population[winner], dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Crossover
@@ -99,7 +176,11 @@ class GeneticOperators:
     def crossover_pair(
         self, parent_a: np.ndarray, parent_b: np.ndarray, rng: np.random.Generator
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Produce two children from two parents."""
+        """Produce two children from two parents.
+
+        Single-item convenience API (draws its own randomness); the
+        offspring pipeline uses :meth:`crossover_population` instead.
+        """
         parent_a = np.asarray(parent_a, dtype=np.int64)
         parent_b = np.asarray(parent_b, dtype=np.int64)
         if parent_a.shape != parent_b.shape:
@@ -120,45 +201,285 @@ class GeneticOperators:
     # Mutation
     # ------------------------------------------------------------------
     def mutate(self, chromosome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        """Mutate a chromosome in place-safe fashion (returns a copy)."""
-        child = np.asarray(chromosome, dtype=np.int64).copy()
-        genes_to_mutate = rng.random(child.shape[0]) < self.mutation_probability
-        indices = np.flatnonzero(genes_to_mutate)
-        for index in indices:
-            lower = int(self.layout.lower_bounds[index])
-            upper = int(self.layout.upper_bounds[index])
-            if self.layout.mask_gene_flags[index]:
-                bits = int(self._mask_bits[index])
-                flip = 1 << int(rng.integers(0, max(bits, 1)))
-                child[index] ^= flip
-            elif upper - lower <= 1:
-                # Binary genes (signs): flip.
-                child[index] = upper if child[index] == lower else lower
-            elif rng.random() < self.creep_fraction:
-                step = -1 if rng.random() < 0.5 else 1
-                child[index] = int(np.clip(child[index] + step, lower, upper))
+        """Mutate a chromosome in place-safe fashion (returns a copy).
+
+        Every selected mutable gene is guaranteed to change value; genes
+        that cannot change (zero-bit mask genes, ``lower == upper``
+        bounds) are skipped.  Implemented as a one-row batch through
+        :meth:`mutate_population`, so the single-chromosome and batched
+        paths cannot drift apart.
+        """
+        child = np.asarray(chromosome, dtype=np.int64)
+        num_genes = child.shape[0]
+        mutation_coins = rng.random((1, num_genes))
+        selected = int(np.count_nonzero(mutation_coins < self.mutation_probability))
+        draws = VariationDraws(
+            contestants=np.zeros((0, 2), dtype=np.int64),
+            tie_coins=np.zeros(0),
+            crossover_coins=np.zeros(0),
+            crossover_mask=np.zeros((0, num_genes)),
+            crossover_points=np.zeros(0, dtype=np.int64),
+            mutation_coins=mutation_coins,
+            branch_coins=rng.random(selected),
+            value_coins=rng.random(selected),
+        )
+        return self.mutate_population(child[None, :], draws)[0]
+
+    # ------------------------------------------------------------------
+    # Batched variation pipeline
+    # ------------------------------------------------------------------
+    def draw_variation(
+        self, population_size: int, count: int, rng: np.random.Generator
+    ) -> VariationDraws:
+        """Draw every random tensor of one offspring batch, in fixed order."""
+        if population_size <= 0:
+            raise ValueError("population is empty")
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        num_genes = self.layout.num_genes
+        num_pairs = (count + 1) // 2
+        num_children = 2 * num_pairs
+        # Two *distinct* contestants per tournament (matching the seed's
+        # rng.choice(n, 2, replace=False)): the second index is drawn
+        # from [0, n-1) and shifted past the first, which is exactly a
+        # uniform draw over the ordered distinct pairs.
+        first = rng.integers(0, population_size, size=num_children)
+        if population_size > 1:
+            second = rng.integers(0, population_size - 1, size=num_children)
+            second += second >= first
+        else:
+            second = np.zeros(num_children, dtype=np.int64)
+        contestants = np.stack([first, second], axis=1)
+        tie_coins = rng.random(num_children)
+        crossover_coins = rng.random(num_pairs)
+        if self.crossover == "uniform":
+            num_crossed = int(np.count_nonzero(crossover_coins < self.crossover_probability))
+            crossover_mask = rng.random((num_crossed, num_genes))
+            crossover_points = np.zeros(0, dtype=np.int64)
+        else:
+            crossover_mask = np.zeros((0, num_genes))
+            crossover_points = rng.integers(1, max(num_genes, 2), size=num_pairs)
+        mutation_coins = rng.random((num_children, num_genes))
+        num_selected = int(np.count_nonzero(mutation_coins < self.mutation_probability))
+        return VariationDraws(
+            contestants=contestants,
+            tie_coins=tie_coins,
+            crossover_coins=crossover_coins,
+            crossover_mask=crossover_mask,
+            crossover_points=crossover_points,
+            mutation_coins=mutation_coins,
+            branch_coins=rng.random(num_selected),
+            value_coins=rng.random(num_selected),
+        )
+
+    def select_parents(
+        self, ranks: np.ndarray, crowding: np.ndarray, draws: VariationDraws
+    ) -> np.ndarray:
+        """All tournament winners of one batch (``(2 * num_pairs,)`` indices)."""
+        return binary_tournament_winners(
+            np.asarray(ranks), np.asarray(crowding), draws.contestants, draws.tie_coins
+        )
+
+    def crossover_population(
+        self, parents_a: np.ndarray, parents_b: np.ndarray, draws: VariationDraws
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Crossover of ``num_pairs`` parent rows, as boolean-mask blends."""
+        parents_a = np.asarray(parents_a, dtype=np.int64)
+        parents_b = np.asarray(parents_b, dtype=np.int64)
+        crossed = draws.crossover_coins < self.crossover_probability
+        # Rows that skip crossover take every gene from their own parent.
+        take_from_a = np.ones(parents_a.shape, dtype=bool)
+        if self.crossover == "uniform":
+            take_from_a[crossed] = draws.crossover_mask < 0.5
+        else:  # one_point
+            gene_index = np.arange(parents_a.shape[1])[None, :]
+            take_from_a[crossed] = (
+                gene_index < draws.crossover_points[crossed, None]
+            )
+        children_a = np.where(take_from_a, parents_a, parents_b)
+        children_b = np.where(take_from_a, parents_b, parents_a)
+        return children_a, children_b
+
+    def mutate_population(
+        self, children: np.ndarray, draws: VariationDraws, copy: bool = True
+    ) -> np.ndarray:
+        """Vectorized mutation of a ``(c, genes)`` child matrix.
+
+        The selected entries are gathered into flat arrays (row-major
+        order, matching the compact draw layout) and the disjoint
+        gene-class branches — mask-bit XOR, binary flip, reflected
+        creep, resampling reset — are applied with boolean-mask
+        assignments; every selected mutable gene changes value by
+        construction.  ``copy=False`` mutates ``children`` in place
+        (it must already be a C-contiguous int64 matrix).
+        """
+        out = np.array(children, dtype=np.int64, copy=copy)
+        rows, cols = np.nonzero(draws.mutation_coins < self.mutation_probability)
+        if rows.size == 0:
+            return out
+        values = out[rows, cols]
+        lower = self.layout.lower_bounds[cols]
+        upper = self.layout.upper_bounds[cols]
+        branch_coins = draws.branch_coins
+        value_coins = draws.value_coins
+        mutated = values.copy()
+
+        # Mask genes: XOR one uniformly drawn bit.
+        flip = self._flip_genes[cols]
+        bits = self._mask_bits[cols][flip]
+        bit_index = np.minimum((branch_coins[flip] * bits).astype(np.int64), bits - 1)
+        mutated[flip] = values[flip] ^ (np.int64(1) << bit_index)
+
+        # Binary genes: flip between the two bound values.
+        binary = self._binary_genes[cols]
+        mutated[binary] = (lower + upper - values)[binary]
+
+        # Range genes: +/-1 creep (reflected off the bounds) or a random
+        # reset over the range excluding the current value.
+        in_range = self._range_genes[cols]
+        creep = in_range & (branch_coins < self.creep_fraction)
+        step = np.where(value_coins < 0.5, -1, 1)
+        step = np.where(values == lower, 1, np.where(values == upper, -1, step))
+        mutated[creep] = (values + step)[creep]
+        reset = in_range & ~creep
+        span = upper - lower
+        draw = lower + np.minimum(
+            (value_coins * span).astype(np.int64), np.maximum(span - 1, 0)
+        )
+        mutated[reset] = (draw + (draw >= values))[reset]
+
+        out[rows, cols] = mutated
+        return out
+
+    def _offspring_vectorized(
+        self,
+        population: np.ndarray,
+        ranks: np.ndarray,
+        crowding: np.ndarray,
+        draws: VariationDraws,
+    ) -> np.ndarray:
+        winners = self.select_parents(ranks, crowding, draws)
+        parents_a = population[winners[0::2]]
+        parents_b = population[winners[1::2]]
+        children_a, children_b = self.crossover_population(parents_a, parents_b, draws)
+        children = np.empty(
+            (2 * draws.num_pairs, population.shape[1]), dtype=np.int64
+        )
+        children[0::2] = children_a
+        children[1::2] = children_b
+        return self.mutate_population(children, draws, copy=False)
+
+    def _offspring_scalar(
+        self,
+        population: np.ndarray,
+        ranks: np.ndarray,
+        crowding: np.ndarray,
+        draws: VariationDraws,
+    ) -> np.ndarray:
+        """Per-individual / per-gene reference walk over the same draws.
+
+        Retained as the ``slow=True`` oracle: bit-identical to
+        :meth:`_offspring_vectorized` for the same :class:`VariationDraws`.
+        """
+        lower_bounds = self.layout.lower_bounds
+        upper_bounds = self.layout.upper_bounds
+        num_genes = population.shape[1]
+
+        def tournament(row: int) -> int:
+            a, b = (int(i) for i in draws.contestants[row])
+            if ranks[a] < ranks[b]:
+                return a
+            if ranks[b] < ranks[a]:
+                return b
+            if crowding[a] > crowding[b]:
+                return a
+            if crowding[b] > crowding[a]:
+                return b
+            return a if draws.tie_coins[row] < 0.5 else b
+
+        children: List[np.ndarray] = []
+        crossed_so_far = 0
+        for pair in range(draws.num_pairs):
+            parent_a = population[tournament(2 * pair)].copy()
+            parent_b = population[tournament(2 * pair + 1)].copy()
+            if draws.crossover_coins[pair] < self.crossover_probability:
+                if self.crossover == "uniform":
+                    take_from_a = draws.crossover_mask[crossed_so_far] < 0.5
+                    crossed_so_far += 1
+                    child_a = np.where(take_from_a, parent_a, parent_b)
+                    child_b = np.where(take_from_a, parent_b, parent_a)
+                else:
+                    point = int(draws.crossover_points[pair])
+                    child_a = np.concatenate([parent_a[:point], parent_b[point:]])
+                    child_b = np.concatenate([parent_b[:point], parent_a[point:]])
             else:
-                child[index] = int(rng.integers(lower, upper + 1))
-        return self.layout.clip(child)
+                child_a, child_b = parent_a, parent_b
+            children.append(child_a.astype(np.int64))
+            children.append(child_b.astype(np.int64))
+
+        offspring = np.stack(children)
+        # The compact per-mutation draws are consumed in row-major order
+        # of the selection matrix, mirroring the vectorized gather.
+        draw_cursor = 0
+        for row in range(offspring.shape[0]):
+            for index in range(num_genes):
+                if draws.mutation_coins[row, index] >= self.mutation_probability:
+                    continue
+                branch_coin = float(draws.branch_coins[draw_cursor])
+                value_coin = float(draws.value_coins[draw_cursor])
+                draw_cursor += 1
+                lower = int(lower_bounds[index])
+                upper = int(upper_bounds[index])
+                value = int(offspring[row, index])
+                if self._flip_genes[index]:
+                    bits = int(self._mask_bits[index])
+                    bit = min(int(branch_coin * bits), bits - 1)
+                    offspring[row, index] = value ^ (1 << bit)
+                elif self._binary_genes[index]:
+                    offspring[row, index] = lower + upper - value
+                elif self._range_genes[index]:
+                    if branch_coin < self.creep_fraction:
+                        step = -1 if value_coin < 0.5 else 1
+                        if value == lower:
+                            step = 1
+                        elif value == upper:
+                            step = -1
+                        offspring[row, index] = value + step
+                    else:
+                        span = upper - lower
+                        draw = lower + min(int(value_coin * span), span - 1)
+                        if draw >= value:
+                            draw += 1
+                        offspring[row, index] = draw
+        return offspring
 
     # ------------------------------------------------------------------
     # Offspring generation
     # ------------------------------------------------------------------
     def make_offspring(
         self,
-        population: Sequence[np.ndarray],
+        population: Union[np.ndarray, Sequence[np.ndarray]],
         ranks: np.ndarray,
         crowding: np.ndarray,
         count: int,
         rng: np.random.Generator,
-    ) -> List[np.ndarray]:
-        """Produce ``count`` children via selection, crossover and mutation."""
-        children: List[np.ndarray] = []
-        while len(children) < count:
-            parent_a = self.tournament_select(population, ranks, crowding, rng)
-            parent_b = self.tournament_select(population, ranks, crowding, rng)
-            child_a, child_b = self.crossover_pair(parent_a, parent_b, rng)
-            children.append(self.mutate(child_a, rng))
-            if len(children) < count:
-                children.append(self.mutate(child_b, rng))
-        return children
+        slow: bool = False,
+    ) -> np.ndarray:
+        """Produce ``count`` children via selection, crossover and mutation.
+
+        ``population`` may be an ``(n, genes)`` matrix or a sequence of
+        gene vectors; the result is always a ``(count, genes)`` int64
+        matrix.  ``slow=True`` runs the scalar per-individual reference
+        walk over the same random draws (bit-identical output).
+        """
+        matrix = np.ascontiguousarray(population, dtype=np.int64)
+        if matrix.ndim != 2:
+            raise ValueError(
+                f"population must stack into an (n, genes) matrix, got {matrix.shape}"
+            )
+        draws = self.draw_variation(matrix.shape[0], count, rng)
+        if slow:
+            offspring = self._offspring_scalar(matrix, ranks, crowding, draws)
+        else:
+            offspring = self._offspring_vectorized(matrix, ranks, crowding, draws)
+        return offspring[:count]

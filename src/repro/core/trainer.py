@@ -59,6 +59,11 @@ class GAConfig:
     archive_size: int = 256
     seed: int = 0
     n_workers: int = 0
+    #: Run the genetic operators through the scalar per-individual
+    #: reference walk instead of the matrix-native engine.  Bit-identical
+    #: to the default (both consume the same random draws); retained for
+    #: the equivalence tests and for bisecting discrepancies.
+    slow_operators: bool = False
 
     def __post_init__(self) -> None:
         if self.population_size < 4:
@@ -241,7 +246,12 @@ class GATrainer:
         baseline_accuracy: Optional[float],
         start: float,
     ) -> GAResult:
-        population = initializer.build(config.population_size, rng)
+        # The population lives as one (n, genes) int64 matrix end to end:
+        # variation, fitness evaluation and environmental selection all
+        # operate on the matrix without per-individual list round-trips.
+        population = np.stack(initializer.build(config.population_size, rng)).astype(
+            np.int64, copy=False
+        )
         fitnesses = evaluator.evaluate_population(population)
         self._update_archive(archive, population, fitnesses)
         # Fixed hypervolume reference point so progress is comparable
@@ -259,13 +269,18 @@ class GATrainer:
             objectives, violations = self._objective_matrix(fitnesses, area_objective)
             ranks, crowding = nsga2_sort_key(objectives, violations)
             offspring = operators.make_offspring(
-                population, ranks, crowding, config.population_size, rng
+                population,
+                ranks,
+                crowding,
+                config.population_size,
+                rng,
+                slow=config.slow_operators,
             )
             offspring_fitnesses = evaluator.evaluate_population(offspring)
             self._update_archive(archive, offspring, offspring_fitnesses)
 
             population, fitnesses = self._environmental_selection(
-                population + offspring,
+                np.concatenate([population, offspring]),
                 fitnesses + offspring_fitnesses,
                 config.population_size,
                 area_objective,
@@ -347,28 +362,26 @@ class GATrainer:
 
     def _environmental_selection(
         self,
-        population: List[np.ndarray],
+        population: np.ndarray,
         fitnesses: List[FitnessValues],
         target_size: int,
         area_objective: bool,
-    ) -> tuple[List[np.ndarray], List[FitnessValues]]:
+    ) -> tuple[np.ndarray, List[FitnessValues]]:
         objectives, violations = self._objective_matrix(fitnesses, area_objective)
         fronts = fast_non_dominated_sort(objectives, violations)
-        next_population: List[np.ndarray] = []
-        next_fitnesses: List[FitnessValues] = []
+        survivors: List[int] = []
         for front in fronts:
-            if len(next_population) + len(front) <= target_size:
+            if len(survivors) + len(front) <= target_size:
                 chosen = front
             else:
-                remaining = target_size - len(next_population)
+                remaining = target_size - len(survivors)
                 distances = crowding_distance(objectives[front])
                 order = np.argsort(-distances, kind="stable")
                 chosen = [front[i] for i in order[:remaining]]
-            next_population.extend(population[i] for i in chosen)
-            next_fitnesses.extend(fitnesses[i] for i in chosen)
-            if len(next_population) >= target_size:
+            survivors.extend(chosen)
+            if len(survivors) >= target_size:
                 break
-        return next_population, next_fitnesses
+        return population[survivors], [fitnesses[i] for i in survivors]
 
     @staticmethod
     def _stats(

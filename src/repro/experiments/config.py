@@ -37,6 +37,13 @@ class ExperimentScale:
         analysis step.
     seed:
         Global seed (dataset generation, training, GA).
+    cache_dir:
+        Optional directory for disk-backed evaluation caches.  When set,
+        the pipeline loads each dataset's
+        :class:`~repro.core.cache.EvaluationCache` snapshot before the
+        genetic stage and saves it afterwards, so repeated runner
+        invocations share fitness and synthesis work across process
+        restarts (``runner.py --cache-dir``).
     """
 
     name: str
@@ -55,6 +62,7 @@ class ExperimentScale:
     ga_workers: int = 0
     max_front_designs: Optional[int] = 40
     seed: int = 0
+    cache_dir: Optional[str] = None
 
 
 SCALES: Dict[str, ExperimentScale] = {

@@ -4,9 +4,19 @@ Usage::
 
     python -m repro.experiments.runner --experiment table2 --scale ci
     python -m repro.experiments.runner --experiment all --scale smoke
+    python -m repro.experiments.runner --experiment table2 --cache-dir .repro-cache
 
 Every experiment prints a plain-text table mirroring the corresponding
 artifact of the paper (Table I/II/III, Fig. 4/5) plus the ablations.
+
+``--cache-dir DIR`` makes the evaluation cache persistent: each
+dataset's fitness/accuracy/hardware-report entries are loaded from
+``DIR`` before the genetic stage and saved back afterwards, so a second
+invocation of the same experiment at the same scale is served almost
+entirely from cache (a per-dataset ``[cache]`` summary line reports the
+hit rate and the snapshot traffic).  Snapshots are versioned and keys
+are namespaced by dataset split and constraints, so one directory can
+safely be shared between scales and experiments.
 """
 
 from __future__ import annotations
@@ -64,6 +74,14 @@ def main(argv: List[str] | None = None) -> int:
         default=None,
         help="GA fitness-evaluation process-pool size (overrides the scale; 0 = in-process)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "directory for persistent evaluation-cache snapshots; repeated "
+            "invocations share fitness/synthesis work across restarts"
+        ),
+    )
     args = parser.parse_args(argv)
 
     scale = SCALES[args.scale]
@@ -71,6 +89,8 @@ def main(argv: List[str] | None = None) -> int:
         if args.workers < 0:
             parser.error("--workers must be non-negative")
         scale = dataclasses.replace(scale, ga_workers=args.workers)
+    if args.cache_dir is not None:
+        scale = dataclasses.replace(scale, cache_dir=args.cache_dir)
     pipeline = DatasetPipeline(scale)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
@@ -78,6 +98,13 @@ def main(argv: List[str] | None = None) -> int:
         print(f"\n=== {name} (scale={args.scale}) ===")
         rows = runner(pipeline)
         print(formatter(rows))
+    if pipeline.cache_dir is not None:
+        for dataset, stats in sorted(pipeline.cache_summary().items()):
+            print(
+                f"[cache] {dataset}: fitness {stats['cache_hits']}/"
+                f"{stats['evaluations']} hits ({100.0 * stats['hit_rate']:.1f}%), "
+                f"snapshot loaded {stats['loaded']} / saved {stats['saved']} entries"
+            )
     return 0
 
 

@@ -64,8 +64,12 @@ def generate_testbench(
             lines.append(f"        in{i} = {config.input_bits}'d{int(value)};")
         lines.append("        #1;")
         lines.append(f"        if (class_index !== {class_bits}'d{int(golden)}) begin")
+        # The applied vector is known at generation time, so it is
+        # spelled out literally: the SystemVerilog-only "%p" format
+        # breaks under Verilog-2001 simulators such as iverilog.
+        inputs_literal = "{" + ", ".join(str(int(value)) for value in vector) + "}"
         lines.append(
-            '            $display("MISMATCH inputs=%p expected='
+            f'            $display("MISMATCH inputs={inputs_literal} expected='
             + str(int(golden))
             + ' got=%0d", class_index);'
         )

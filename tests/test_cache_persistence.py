@@ -1,0 +1,296 @@
+"""Tests of the disk-backed evaluation cache (save/load + pipeline wiring).
+
+Covers the snapshot format (versioning, atomic writes, LRU-order
+preservation), the corruption tolerance of :meth:`EvaluationCache.load`,
+the process-stable split fingerprints, and the end-to-end promise: a
+second identical experiment run against the same ``--cache-dir`` is
+served almost entirely (> 90 %) from the fitness cache.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CACHE_FORMAT_VERSION, EvaluationCache
+from repro.experiments.config import ExperimentScale
+from repro.experiments.pipeline import DatasetPipeline
+
+
+class TestSnapshotRoundTrip:
+    def test_save_and_load_restores_data_sections(self, tmp_path):
+        cache = EvaluationCache()
+        cache.fitness.put(("ctx", b"genome-1"), (0.25, 12.0))
+        cache.fitness.put(("ctx", b"genome-2"), (0.5, 8.0))
+        cache.accuracy.put((("k", b"g"), "split"), 0.875)
+        cache.reports.put(("g", 1.0, 200.0, False), {"area": 3.5})
+        path = tmp_path / "snap.pkl"
+        assert cache.save(path) == 4
+
+        restored = EvaluationCache()
+        assert restored.load(path) == 4
+        assert restored.fitness.get(("ctx", b"genome-1")) == (0.25, 12.0)
+        assert restored.fitness.get(("ctx", b"genome-2")) == (0.5, 8.0)
+        assert restored.accuracy.get((("k", b"g"), "split")) == 0.875
+        assert restored.reports.get(("g", 1.0, 200.0, False)) == {"area": 3.5}
+
+    def test_models_section_is_not_persisted(self, tmp_path):
+        cache = EvaluationCache()
+        cache.models.put(("layout", b"g"), object())
+        cache.fitness.put(("ctx", b"g"), 1.0)
+        path = tmp_path / "snap.pkl"
+        assert cache.save(path) == 1
+        restored = EvaluationCache()
+        restored.load(path)
+        assert len(restored.models) == 0
+        assert len(restored.fitness) == 1
+
+    def test_load_preserves_lru_order(self, tmp_path):
+        cache = EvaluationCache()
+        for index in range(5):
+            cache.fitness.put(("ctx", index), index)
+        cache.fitness.get(("ctx", 0))  # refresh: 0 becomes most recent
+        path = tmp_path / "snap.pkl"
+        cache.save(path)
+        restored = EvaluationCache(max_fitness_entries=2)
+        restored.load(path)
+        # Entries are stored least-recent first, so a smaller cache
+        # keeps the hottest tail: the refreshed 0 and the latest insert.
+        assert restored.fitness.keys() == [("ctx", 4), ("ctx", 0)]
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        cache = EvaluationCache()
+        cache.fitness.put("k", "v")
+        path = tmp_path / "nested" / "dir" / "snap.pkl"
+        cache.save(path)
+        assert path.exists()
+
+    def test_save_is_atomic(self, tmp_path):
+        path = tmp_path / "snap.pkl"
+        first = EvaluationCache()
+        first.fitness.put("k", "old")
+        first.save(path)
+        second = EvaluationCache()
+        second.fitness.put("k", "new")
+        second.save(path)
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []  # no temp files left behind
+        restored = EvaluationCache()
+        restored.load(path)
+        assert restored.fitness.get("k") == "new"
+
+
+class TestCorruptionTolerance:
+    def test_missing_file_loads_nothing(self, tmp_path):
+        cache = EvaluationCache()
+        assert cache.load(tmp_path / "absent.pkl") == 0
+
+    def test_garbage_bytes_load_nothing(self, tmp_path):
+        path = tmp_path / "garbage.pkl"
+        path.write_bytes(b"\x00\x01not a pickle at all")
+        assert EvaluationCache().load(path) == 0
+
+    def test_truncated_snapshot_loads_nothing(self, tmp_path):
+        cache = EvaluationCache()
+        for index in range(100):
+            cache.fitness.put(("ctx", index), float(index))
+        path = tmp_path / "snap.pkl"
+        cache.save(path)
+        truncated = tmp_path / "truncated.pkl"
+        truncated.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert EvaluationCache().load(truncated) == 0
+
+    def test_foreign_pickle_loads_nothing(self, tmp_path):
+        path = tmp_path / "foreign.pkl"
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        assert EvaluationCache().load(path) == 0
+
+    def test_version_mismatch_loads_nothing(self, tmp_path):
+        cache = EvaluationCache()
+        cache.fitness.put("k", "v")
+        path = tmp_path / "snap.pkl"
+        cache.save(path)
+        payload = pickle.loads(path.read_bytes())
+        payload["version"] = CACHE_FORMAT_VERSION + 1
+        path.write_bytes(pickle.dumps(payload))
+        assert EvaluationCache().load(path) == 0
+
+    def test_malicious_pickle_is_refused_without_execution(self, tmp_path):
+        """Snapshots deserialize through a restricted unpickler: a
+        pickle carrying an os.system payload must be rejected before
+        anything executes, not after."""
+        import os
+
+        marker = tmp_path / "pwned"
+
+        class Evil:
+            def __reduce__(self):
+                return (os.system, (f"touch {marker}",))
+
+        path = tmp_path / "evil.pkl"
+        path.write_bytes(pickle.dumps(Evil()))
+        assert EvaluationCache().load(path) == 0
+        assert not marker.exists()
+
+    def test_malformed_section_is_skipped(self, tmp_path):
+        cache = EvaluationCache()
+        cache.fitness.put("k", "v")
+        path = tmp_path / "snap.pkl"
+        cache.save(path)
+        payload = pickle.loads(path.read_bytes())
+        payload["sections"]["accuracy"] = 42  # not an entry list
+        path.write_bytes(pickle.dumps(payload))
+        restored = EvaluationCache()
+        restored.load(path)
+        assert restored.fitness.get("k") == "v"
+        assert len(restored.accuracy) == 0
+
+
+class TestStableKeys:
+    def test_split_fingerprint_uses_no_process_salted_hash(self):
+        """The fingerprint must survive a process restart: every part is
+        a plain value (no builtin ``hash`` of bytes, which is salted by
+        ``PYTHONHASHSEED``)."""
+        inputs = np.arange(12, dtype=np.int64).reshape(4, 3)
+        labels = np.array([0, 1, 0, 1])
+        fingerprint = EvaluationCache.split_fingerprint(inputs, labels)
+        assert fingerprint == EvaluationCache.split_fingerprint(inputs, labels)
+        # Stable golden value: changes here break every on-disk cache,
+        # so they must come with a CACHE_FORMAT_VERSION bump.
+        flat = []
+
+        def flatten(part):
+            if isinstance(part, tuple):
+                for item in part:
+                    flatten(item)
+            else:
+                flat.append(part)
+
+        flatten(fingerprint)
+        assert all(isinstance(part, (int, str)) for part in flat)
+
+    def test_split_fingerprint_distinguishes_dtype(self):
+        same_bytes_a = np.array([1, 2, 3, 4], dtype=np.int32)
+        same_bytes_b = same_bytes_a.view(np.float32)
+        labels = np.zeros(4, dtype=np.int64)
+        assert EvaluationCache.split_fingerprint(
+            same_bytes_a, labels
+        ) != EvaluationCache.split_fingerprint(same_bytes_b, labels)
+
+    def test_fitness_keys_round_trip_through_pickle(self, small_topology, approx_config):
+        """Snapshot keys embed the layout identity; pickling must not
+        change their equality/hash (frozen dataclasses of plain ints)."""
+        from repro.core.chromosome import ChromosomeLayout
+
+        layout = ChromosomeLayout(small_topology, approx_config)
+        key = (
+            EvaluationCache.layout_key(layout),
+            EvaluationCache.genome_key(np.zeros(layout.num_genes, dtype=np.int64)),
+        )
+        assert pickle.loads(pickle.dumps(key)) == key
+        assert hash(pickle.loads(pickle.dumps(key))) == hash(key)
+
+
+TINY = ExperimentScale(
+    name="tiny-cache",
+    datasets=("breast_cancer",),
+    max_samples=200,
+    gradient_epochs=30,
+    gradient_restarts=1,
+    ga_population=16,
+    ga_generations=6,
+    max_front_designs=6,
+    seed=0,
+)
+
+
+class TestPipelinePersistence:
+    def test_second_run_hits_over_90_percent(self, tmp_path):
+        """The acceptance criterion: an identical second run against the
+        same cache directory reports > 90 % fitness-cache hit rate and
+        reproduces the same designs."""
+        first = DatasetPipeline(TINY, cache_dir=tmp_path)
+        first_result = first.approximate("breast_cancer")
+        first_summary = first.cache_summary()["breast_cancer"]
+        assert first_summary["loaded"] == 0
+        assert first_summary["saved"] > 0
+        assert (tmp_path / "breast_cancer.cache.pkl").exists()
+
+        second = DatasetPipeline(TINY, cache_dir=tmp_path)
+        second_result = second.approximate("breast_cancer")
+        second_summary = second.cache_summary()["breast_cancer"]
+        assert second_summary["loaded"] == first_summary["saved"]
+        assert second_summary["hit_rate"] > 0.9
+
+        # Same seed + restored fitness values => identical evolution.
+        first_designs = [
+            (d.point.error, d.point.area, d.test_accuracy, d.report.area_cm2)
+            for d in first_result.approximate.designs
+        ]
+        second_designs = [
+            (d.point.error, d.point.area, d.test_accuracy, d.report.area_cm2)
+            for d in second_result.approximate.designs
+        ]
+        assert first_designs == second_designs
+
+        # The GA never recomputed a fitness: everything it asked for was
+        # either restored from disk or memoized within the run.
+        ga_stats = second_result.approximate.ga_result.history[-1]
+        assert ga_stats.fitness_computations == 0
+
+    def test_scale_cache_dir_is_used(self, tmp_path):
+        scale = ExperimentScale(
+            name="tiny-cache-scale",
+            datasets=("breast_cancer",),
+            max_samples=200,
+            gradient_epochs=30,
+            gradient_restarts=1,
+            ga_population=16,
+            ga_generations=4,
+            max_front_designs=6,
+            seed=0,
+            cache_dir=str(tmp_path / "from-scale"),
+        )
+        pipeline = DatasetPipeline(scale)
+        pipeline.approximate("breast_cancer")
+        assert (tmp_path / "from-scale" / "breast_cancer.cache.pkl").exists()
+
+    def test_no_cache_dir_keeps_pipeline_diskless(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pipeline = DatasetPipeline(TINY)
+        assert pipeline.cache_dir is None
+        pipeline.approximate("breast_cancer")
+        assert list(tmp_path.iterdir()) == []  # nothing written anywhere
+        assert pipeline.cache_summary()["breast_cancer"]["loaded"] == 0
+
+
+class TestRunnerFlag:
+    def test_runner_cache_dir_reports_hit_rate(self, tmp_path, capsys, monkeypatch):
+        """``runner.py --cache-dir`` wires the directory through and
+        prints the per-dataset ``[cache]`` summary."""
+        from repro.experiments import runner as runner_module
+        from repro.experiments.config import SCALES
+
+        monkeypatch.setitem(SCALES, "tiny-cache", TINY)
+        argv = [
+            "--experiment",
+            "table2",
+            "--scale",
+            "tiny-cache",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert runner_module.main(argv) == 0
+        first_out = capsys.readouterr().out
+        assert "[cache] breast_cancer" in first_out
+        assert (tmp_path / "breast_cancer.cache.pkl").exists()
+
+        assert runner_module.main(argv) == 0
+        second_out = capsys.readouterr().out
+        line = next(
+            l for l in second_out.splitlines() if l.startswith("[cache] breast_cancer")
+        )
+        rate = float(line.split("(")[1].split("%")[0])
+        assert rate > 90.0

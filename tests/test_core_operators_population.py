@@ -102,6 +102,212 @@ class TestOperators:
         with pytest.raises(ValueError):
             GeneticOperators(layout, crossover="two_point")
 
+    def test_make_offspring_returns_matrix(self, layout, operators, rng):
+        population = np.stack([layout.random(rng) for _ in range(6)])
+        children = operators.make_offspring(
+            population, np.zeros(6, dtype=int), np.zeros(6), 7, rng
+        )
+        assert isinstance(children, np.ndarray)
+        assert children.shape == (7, layout.num_genes)
+        assert children.dtype == np.int64
+
+    def test_make_offspring_rejects_empty_inputs(self, layout, operators, rng):
+        population = np.stack([layout.random(rng) for _ in range(4)])
+        with pytest.raises(ValueError):
+            operators.make_offspring(np.zeros((2, 3, 4)), None, None, 4, rng)
+        with pytest.raises(ValueError):
+            operators.make_offspring(population, np.zeros(4), np.zeros(4), 0, rng)
+
+
+class TestVectorizedScalarEquivalence:
+    """The matrix engine and the ``slow=True`` oracle share their random
+    draws, so for identical generator states the offspring matrices must
+    be bit-identical — the strongest form of identity of distribution."""
+
+    @pytest.mark.parametrize("crossover", ["uniform", "one_point"])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_offspring_bit_identical(self, layout, crossover, seed):
+        rng = np.random.default_rng(seed)
+        ops = GeneticOperators(
+            layout,
+            crossover_probability=float(rng.random()),
+            mutation_probability=float(rng.random() * 0.5),
+            crossover=crossover,
+            creep_fraction=float(rng.random()),
+        )
+        size = int(rng.integers(2, 12))
+        count = int(rng.integers(1, 12))
+        population = np.stack([layout.random(rng) for _ in range(size)])
+        ranks = rng.integers(0, 4, size)
+        crowding = rng.random(size)
+        crowding[rng.random(size) < 0.3] = np.inf  # boundary individuals
+        fast = ops.make_offspring(
+            population, ranks, crowding, count, np.random.default_rng(seed + 999)
+        )
+        slow = ops.make_offspring(
+            population,
+            ranks,
+            crowding,
+            count,
+            np.random.default_rng(seed + 999),
+            slow=True,
+        )
+        assert np.array_equal(fast, slow)
+        for child in fast:
+            layout.validate(child)
+
+    def test_list_and_matrix_populations_agree(self, layout, operators, rng):
+        population = [layout.random(rng) for _ in range(5)]
+        ranks, crowding = np.zeros(5, dtype=int), np.zeros(5)
+        from_list = operators.make_offspring(
+            population, ranks, crowding, 6, np.random.default_rng(0)
+        )
+        from_matrix = operators.make_offspring(
+            np.stack(population), ranks, crowding, 6, np.random.default_rng(0)
+        )
+        assert np.array_equal(from_list, from_matrix)
+
+
+class TestMutationGuarantees:
+    """A selected mutable gene must always change value (the effective
+    mutation rate equals ``mutation_probability``)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_single_mutate_always_changes_selected_genes(self, layout, seed):
+        ops = GeneticOperators(layout, mutation_probability=1.0)
+        rng = np.random.default_rng(seed)
+        mutable = layout.upper_bounds > layout.lower_bounds
+        for chromosome in (
+            layout.lower_bounds.copy(),  # creep at the lower bound
+            layout.upper_bounds.copy(),  # creep at the upper bound
+            layout.random(rng),
+        ):
+            mutated = ops.mutate(chromosome, rng)
+            layout.validate(mutated)
+            assert np.all(mutated[mutable] != chromosome[mutable])
+
+    def test_batched_mutation_always_changes_selected_genes(self, layout):
+        """Per-gene: exactly the selected mutable genes change value."""
+        ops = GeneticOperators(
+            layout, crossover_probability=0.0, mutation_probability=0.5
+        )
+        rng = np.random.default_rng(0)
+        original = np.stack(
+            [layout.lower_bounds, layout.upper_bounds]
+            + [layout.random(rng) for _ in range(6)]
+        )
+        draws = ops.draw_variation(len(original), len(original), rng)
+        mutated = ops.mutate_population(original, draws)
+        mutable = layout.upper_bounds > layout.lower_bounds
+        selected = draws.mutation_coins < ops.mutation_probability
+        changed = mutated != original
+        assert np.array_equal(changed[:, mutable], selected[:, mutable])
+        assert not np.any(changed[:, ~mutable])
+        for child in mutated:
+            layout.validate(child)
+
+    def test_mutation_rate_matches_probability(self, layout):
+        """Distribution check: the per-gene change frequency matches
+        ``mutation_probability`` now that no-op mutations are impossible."""
+        probability = 0.25
+        ops = GeneticOperators(layout, mutation_probability=probability)
+        rng = np.random.default_rng(42)
+        rows = 400
+        population = np.stack([layout.random(rng) for _ in range(rows)])
+        draws = ops.draw_variation(rows, rows, rng)
+        mutated = ops.mutate_population(population, draws)
+        mutable = layout.upper_bounds > layout.lower_bounds
+        rate = np.mean(mutated[:, mutable] != population[:, mutable])
+        # 400 rows x ~40 mutable genes: the sample frequency lies within
+        # a few standard errors of the true rate.
+        assert abs(rate - probability) < 0.02
+
+    def test_creep_reflects_at_bounds(self, layout, rng):
+        """Creep steps reflect instead of clipping onto the same value."""
+        ops = GeneticOperators(layout, mutation_probability=1.0, creep_fraction=1.0)
+        non_mask = ~layout.mask_gene_flags
+        span = layout.upper_bounds - layout.lower_bounds
+        creeping = non_mask & (span >= 2)
+        if not np.any(creeping):
+            pytest.skip("layout has no creep-mutated genes")
+        lower = ops.mutate(layout.lower_bounds.copy(), rng)
+        upper = ops.mutate(layout.upper_bounds.copy(), rng)
+        assert np.all(lower[creeping] == layout.lower_bounds[creeping] + 1)
+        assert np.all(upper[creeping] == layout.upper_bounds[creeping] - 1)
+
+    def test_random_reset_never_redraws_current_value(self, layout):
+        """The reset branch resamples so the gene always moves."""
+        ops = GeneticOperators(layout, mutation_probability=1.0, creep_fraction=0.0)
+        span = layout.upper_bounds - layout.lower_bounds
+        resetting = ~layout.mask_gene_flags & (span >= 2)
+        if not np.any(resetting):
+            pytest.skip("layout has no reset-mutated genes")
+        rng = np.random.default_rng(11)
+        for trial in range(50):
+            chromosome = layout.random(rng)
+            mutated = ops.mutate(chromosome, rng)
+            assert np.all(mutated[resetting] != chromosome[resetting])
+            layout.validate(mutated)
+
+
+class _FrozenMaskLayout:
+    """Minimal layout stub with a zero-bit mask gene (regression case)."""
+
+    def __init__(self):
+        self.lower_bounds = np.array([0, 0, 0], dtype=np.int64)
+        self.upper_bounds = np.array([0, 15, 1], dtype=np.int64)
+        self.mask_gene_flags = np.array([True, True, False])
+        self.mask_bits_per_gene = np.array([0, 4, 0], dtype=np.int64)
+        self.num_genes = 3
+
+    def clip(self, chromosome):  # pragma: no cover - must never be needed
+        raise AssertionError("mutation must stay in bounds without clipping")
+
+
+class TestZeroBitMaskGenes:
+    """A mask gene with zero mask bits must be skipped, not phantom-flipped."""
+
+    def test_single_mutate_skips_zero_bit_mask_gene(self):
+        layout = _FrozenMaskLayout()
+        ops = GeneticOperators(layout, mutation_probability=1.0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            mutated = ops.mutate(np.array([0, 5, 1], dtype=np.int64), rng)
+            assert mutated[0] == 0  # unchanged, and clip was never called
+            assert 0 <= mutated[1] <= 15 and mutated[1] != 5
+            assert mutated[2] == 0
+
+    @pytest.mark.parametrize("slow", [False, True])
+    def test_batched_mutation_skips_zero_bit_mask_gene(self, slow):
+        layout = _FrozenMaskLayout()
+        ops = GeneticOperators(
+            layout, crossover_probability=0.0, mutation_probability=1.0
+        )
+        rng = np.random.default_rng(1)
+        population = np.array([[0, 5, 1], [0, 9, 0]], dtype=np.int64)
+        children = ops.make_offspring(
+            population, np.zeros(2, dtype=int), np.zeros(2), 8, rng, slow=slow
+        )
+        assert np.all(children[:, 0] == 0)
+        assert np.all((children[:, 1] >= 0) & (children[:, 1] <= 15))
+        assert np.all((children[:, 2] == 0) | (children[:, 2] == 1))
+
+    def test_frozen_mask_bounds_are_skipped(self, rng):
+        """Ablation-style frozen mask genes (lower == upper) never mutate."""
+        from repro.approx.topology import Topology
+        from repro.core.chromosome import ChromosomeLayout as _Layout
+
+        layout = _Layout(Topology((4, 3, 2)), ApproxConfig())
+        mask_flags = layout.mask_gene_flags
+        bits = layout.mask_bits_per_gene
+        layout.lower_bounds = layout.lower_bounds.copy()
+        layout.lower_bounds[mask_flags] = (1 << bits[mask_flags]) - 1
+        ops = GeneticOperators(layout, mutation_probability=1.0)
+        chromosome = layout.clip(layout.random(rng))
+        mutated = ops.mutate(chromosome, rng)
+        assert np.all(mutated[mask_flags] == chromosome[mask_flags])
+        layout.validate(mutated)
+
 
 class TestPopulationInitializer:
     def test_population_size_and_validity(self, layout, rng):

@@ -107,6 +107,39 @@ class TestGATrainer:
         front_b = [(p.error, p.area) for p in result_b.estimated_front]
         assert front_a == front_b
 
+    def test_deterministic_across_operator_paths(self, tiny_dataset_module):
+        """Vectorized and ``slow_operators`` runs share every random draw,
+        so the same seed must produce identical fronts and histories."""
+        x_train, y_train, _, _ = tiny_dataset_module
+        fast_config = GAConfig(population_size=12, generations=4, seed=3)
+        slow_config = GAConfig(
+            population_size=12, generations=4, seed=3, slow_operators=True
+        )
+        fast = GATrainer((4, 3, 2), ga_config=fast_config).train(x_train, y_train)
+        slow = GATrainer((4, 3, 2), ga_config=slow_config).train(x_train, y_train)
+        assert [(p.error, p.area) for p in fast.estimated_front] == [
+            (p.error, p.area) for p in slow.estimated_front
+        ]
+        assert [
+            (s.best_error, s.best_area, s.mean_error, s.mean_area)
+            for s in fast.history
+        ] == [
+            (s.best_error, s.best_area, s.mean_error, s.mean_area)
+            for s in slow.history
+        ]
+
+    def test_deterministic_across_worker_counts(self, tiny_dataset_module):
+        """The process-pool fitness path must not change the evolution:
+        the same seed gives identical fronts with 0 and >1 workers."""
+        x_train, y_train, _, _ = tiny_dataset_module
+        serial_config = GAConfig(population_size=12, generations=3, seed=5, n_workers=0)
+        pooled_config = GAConfig(population_size=12, generations=3, seed=5, n_workers=2)
+        serial = GATrainer((4, 3, 2), ga_config=serial_config).train(x_train, y_train)
+        pooled = GATrainer((4, 3, 2), ga_config=pooled_config).train(x_train, y_train)
+        assert [(p.error, p.area) for p in serial.estimated_front] == [
+            (p.error, p.area) for p in pooled.estimated_front
+        ]
+
     def test_area_objective_disabled(self, tiny_dataset_module):
         x_train, y_train, _, _ = tiny_dataset_module
         config = GAConfig(population_size=12, generations=4, seed=0)

@@ -173,3 +173,13 @@ class TestVerilogGeneration:
     def test_testbench_rejects_bad_vector_shape(self, mlp):
         with pytest.raises(ValueError):
             generate_testbench(mlp, vectors=np.zeros((2, 7), dtype=int))
+
+    def test_testbench_is_verilog_2001_compatible(self, mlp):
+        """Regression: the mismatch message must not use the
+        SystemVerilog-only ``%p`` format (breaks e.g. iverilog) — the
+        applied input vector is spelled out literally instead."""
+        vectors = np.array([[3, 0, 7, 2], [1, 15, 4, 9]])
+        text = generate_testbench(mlp, vectors=vectors)
+        assert "%p" not in text
+        assert "inputs={3, 0, 7, 2}" in text
+        assert "inputs={1, 15, 4, 9}" in text
