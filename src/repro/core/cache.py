@@ -80,6 +80,9 @@ _SAFE_SNAPSHOT_GLOBALS = {
     ("repro.approx.config", "ApproxConfig"),
     ("repro.core.fitness", "FitnessValues"),
     ("repro.hardware.synthesis", "HardwareReport"),
+    # The RTL-verification harness memoizes per-design results in the
+    # reports section; they must survive the snapshot round trip.
+    ("repro.evaluation.verification", "DesignVerification"),
 }
 
 

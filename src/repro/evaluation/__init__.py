@@ -14,6 +14,12 @@ from repro.evaluation.pareto_analysis import (
 )
 from repro.evaluation.feasibility import FeasibilityResult, assess_feasibility
 from repro.evaluation.report import format_table, reduction_factor
+from repro.evaluation.verification import (
+    DesignVerification,
+    FrontVerification,
+    verify_design,
+    verify_front,
+)
 
 __all__ = [
     "accuracy_score",
@@ -28,4 +34,8 @@ __all__ = [
     "assess_feasibility",
     "format_table",
     "reduction_factor",
+    "DesignVerification",
+    "FrontVerification",
+    "verify_design",
+    "verify_front",
 ]

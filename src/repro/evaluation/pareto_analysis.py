@@ -35,7 +35,38 @@ from repro.hardware.synthesis import (
     synthesize_approximate_mlp,
 )
 
-__all__ = ["EvaluatedDesign", "evaluate_front", "true_pareto_front", "select_design"]
+__all__ = [
+    "EvaluatedDesign",
+    "evaluate_front",
+    "resolve_decoded_model",
+    "true_pareto_front",
+    "select_design",
+]
+
+
+def resolve_decoded_model(result: GAResult, point, cache, layout_key):
+    """Genome-keyed decoded-model lookup shared by the front stages.
+
+    Returns ``(key, model)``: the ``(layout_key, genome bytes)`` cache
+    key (``None`` without a cache or payload) and the decoded
+    :class:`~repro.approx.mlp.ApproximateMLP`, read from — and on a
+    miss stored back into — ``cache.models``.  Both
+    :func:`evaluate_front` and
+    :func:`~repro.evaluation.verification.verify_front` resolve models
+    through this single helper, so the key scheme cannot silently
+    diverge between stages.
+    """
+    key = (
+        (layout_key, EvaluationCache.genome_key(np.asarray(point.payload)))
+        if cache is not None and point.payload is not None
+        else None
+    )
+    model = cache.models.get(key) if key is not None else None
+    if model is None:
+        model = result.decode(point)
+        if key is not None:
+            cache.models.put(key, model)
+    return key, model
 
 
 @dataclass(frozen=True)
@@ -122,16 +153,7 @@ def evaluate_front(
     keys: List[Optional[tuple]] = []
     models: List[ApproximateMLP] = []
     for point in front:
-        key = (
-            (layout_key, EvaluationCache.genome_key(np.asarray(point.payload)))
-            if cache is not None and point.payload is not None
-            else None
-        )
-        model = cache.models.get(key) if key is not None else None
-        if model is None:
-            model = result.decode(point)
-            if key is not None:
-                cache.models.put(key, model)
+        key, model = resolve_decoded_model(result, point, cache, layout_key)
         keys.append(key)
         models.append(model)
 

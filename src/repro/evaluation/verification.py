@@ -1,0 +1,344 @@
+"""Cross-layer differential verification: model ↔ netlist ↔ RTL.
+
+The paper's flow ends in functional simulation of every generated
+circuit (its VCS step).  This module is the reproduction's equivalent,
+run front-wide in one pass:
+
+* **model vs. gate-level netlist** — every neuron of every layer is
+  lowered to its adder-tree netlist
+  (:func:`~repro.hardware.netlist.build_neuron_netlist`) and evaluated
+  over the whole vector batch with the compiled batched simulator
+  (:func:`~repro.hardware.simulator.simulate_batch`); the accumulators
+  must equal the integer Python model's bit for bit;
+* **netlist vs. RTL testbench** — the self-checking Verilog testbench
+  is generated for the same vectors, its embedded golden responses are
+  parsed back *out of the emitted text*
+  (:func:`~repro.rtl.testbench.extract_testbench_vectors`), and checked
+  against the gate-level predictions (netlist accumulators chained
+  through the Python QReLU/argmax stages);
+* **model vs. RTL testbench** — the same parsed golden responses are
+  checked against :meth:`ApproximateMLP.predict`, closing the triangle;
+* **model vs. RTL module text** — the accumulator expressions of the
+  emitted Verilog module are parsed back out and independently executed
+  (:func:`~repro.rtl.verilog.evaluate_neuron_expression`), so a wrong
+  mask/shift/bias literal produced by the Verilog *generator* is caught
+  even though the testbench golden responses originate from the model.
+
+:func:`verify_front` applies this to every member of an estimated
+Pareto front, reusing decoded models from the shared
+:class:`~repro.core.cache.EvaluationCache` and memoizing per-design
+verification results in its ``reports`` section, so reporting stages
+and repeated runs never re-simulate a design already verified on the
+same vectors.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.approx.mlp import ApproximateMLP
+from repro.core.cache import EvaluationCache
+from repro.core.trainer import GAResult
+from repro.evaluation.pareto_analysis import resolve_decoded_model
+from repro.hardware.netlist import build_neuron_netlist
+from repro.hardware.simulator import simulate_batch
+from repro.rtl.testbench import extract_testbench_vectors, generate_testbench
+from repro.rtl.verilog import (
+    evaluate_neuron_expression,
+    extract_accumulator_expressions,
+    generate_mlp_verilog,
+)
+
+__all__ = [
+    "DesignVerification",
+    "FrontVerification",
+    "verify_design",
+    "verify_front",
+]
+
+
+@dataclass(frozen=True)
+class DesignVerification:
+    """Differential verification outcome of one design."""
+
+    num_vectors: int
+    #: Neuron netlists simulated (every neuron of every layer).
+    num_neurons: int
+    #: (neuron, vector) accumulator disagreements: model vs. netlist.
+    netlist_mismatches: int
+    #: Per-vector class disagreements: netlist-level predictions vs. the
+    #: golden responses parsed back out of the generated testbench.
+    rtl_mismatches: int
+    #: Per-vector class disagreements: Python model vs. testbench golden.
+    model_mismatches: int
+    #: (neuron, vector) accumulator disagreements between the emitted
+    #: Verilog module text (its accumulator expressions parsed back out
+    #: and independently executed) and the Python model — this is the
+    #: leg that catches bugs in the Verilog *generator* itself.
+    expression_mismatches: int = 0
+
+    @property
+    def total_mismatches(self) -> int:
+        """All disagreements across the four comparisons."""
+        return (
+            self.netlist_mismatches
+            + self.rtl_mismatches
+            + self.model_mismatches
+            + self.expression_mismatches
+        )
+
+    @property
+    def passed(self) -> bool:
+        """True when model, netlist and RTL agree on every vector."""
+        return self.total_mismatches == 0
+
+
+@dataclass(frozen=True)
+class FrontVerification:
+    """Front-wide verification summary."""
+
+    results: List[DesignVerification]
+    seconds: float
+    #: Designs whose verification was served from the evaluation cache.
+    cache_hits: int = 0
+
+    @property
+    def num_designs(self) -> int:
+        """Number of front members verified."""
+        return len(self.results)
+
+    @property
+    def num_vectors(self) -> int:
+        """Vectors applied per design (0 for an empty front)."""
+        return self.results[0].num_vectors if self.results else 0
+
+    @property
+    def num_neuron_checks(self) -> int:
+        """Total neuron-netlist simulations across the front."""
+        return sum(result.num_neurons for result in self.results)
+
+    @property
+    def netlist_mismatches(self) -> int:
+        """Total model-vs-netlist accumulator disagreements."""
+        return sum(result.netlist_mismatches for result in self.results)
+
+    @property
+    def rtl_mismatches(self) -> int:
+        """Total netlist-vs-testbench class disagreements."""
+        return sum(result.rtl_mismatches for result in self.results)
+
+    @property
+    def model_mismatches(self) -> int:
+        """Total model-vs-testbench class disagreements."""
+        return sum(result.model_mismatches for result in self.results)
+
+    @property
+    def expression_mismatches(self) -> int:
+        """Total Verilog-expression-vs-model accumulator disagreements."""
+        return sum(result.expression_mismatches for result in self.results)
+
+    @property
+    def total_mismatches(self) -> int:
+        """All disagreements across all designs."""
+        return sum(result.total_mismatches for result in self.results)
+
+    @property
+    def passed(self) -> bool:
+        """True when every design verified clean."""
+        return all(result.passed for result in self.results)
+
+
+def _draw_vectors(
+    num_inputs: int, max_value: int, num_vectors: int, seed: int
+) -> np.ndarray:
+    """Random in-range stimulus with the two's-complement boundary
+    assignments (all-zero, then all-max) pinned into the first slots —
+    as many as the batch size allows."""
+    rng = np.random.default_rng(seed)
+    vectors = rng.integers(0, max_value + 1, size=(num_vectors, num_inputs))
+    if num_vectors >= 1:
+        vectors[0, :] = 0
+    if num_vectors >= 2:
+        vectors[1, :] = max_value
+    return vectors.astype(np.int64)
+
+
+def verify_design(
+    mlp: ApproximateMLP,
+    vectors: np.ndarray,
+    testbench_text: Optional[str] = None,
+    verilog_text: Optional[str] = None,
+) -> DesignVerification:
+    """Differentially verify one design on a batch of input vectors.
+
+    Parameters
+    ----------
+    vectors:
+        ``(n, num_inputs)`` integer stimulus in the primary-input range.
+    testbench_text:
+        Pre-generated testbench Verilog to check against; generated for
+        ``vectors`` when omitted.  Passing tampered text is how the
+        tests prove the harness actually detects disagreements.
+    verilog_text:
+        Pre-generated module Verilog whose accumulator expressions are
+        parsed back out and independently executed; generated from
+        ``mlp`` when omitted.  Tampering with a mask/shift/bias literal
+        in this text is likewise detected.
+    """
+    vectors = np.asarray(vectors, dtype=np.int64)
+    if vectors.ndim != 2 or vectors.shape[1] != mlp.topology.num_inputs:
+        raise ValueError(
+            f"vectors must have shape (n, {mlp.topology.num_inputs}), "
+            f"got {vectors.shape}"
+        )
+    n = vectors.shape[0]
+
+    if verilog_text is None:
+        verilog_text = generate_mlp_verilog(mlp)
+    expressions = extract_accumulator_expressions(verilog_text)
+    expected_wires = sum(layer.fan_out for layer in mlp.layers)
+    if len(expressions) != expected_wires:
+        raise ValueError(
+            f"module text carries {len(expressions)} accumulator wires, "
+            f"expected {expected_wires}"
+        )
+
+    # ---- model vs. gate-level netlist, layer by layer ----
+    # Each layer is checked on the *model's* activations (golden per-layer
+    # inputs), so a hypothetical upstream disagreement cannot mask or
+    # amplify downstream ones; the gate-level accumulators still chain
+    # through the Python QReLU into the next layer's netlist stimulus.
+    netlist_mismatches = 0
+    expression_mismatches = 0
+    num_neurons = 0
+    diverged = False
+    activations = vectors
+    gate_activations = vectors
+    gate_scores: Optional[np.ndarray] = None
+    for layer_index, layer in enumerate(mlp.layers):
+        acc_model = layer.accumulate(activations)
+        expected_gate = layer.accumulate(gate_activations) if diverged else acc_model
+        acc_gate = np.empty((n, layer.fan_out), dtype=np.int64)
+        buses = {f"x{i}": gate_activations[:, i] for i in range(layer.fan_in)}
+        for j in range(layer.fan_out):
+            netlist = build_neuron_netlist(layer.neuron(j))
+            acc_gate[:, j] = simulate_batch(netlist, buses)
+            num_neurons += 1
+            # The emitted RTL expression, executed independently on the
+            # model's (golden) layer inputs.
+            acc_rtl = evaluate_neuron_expression(
+                expressions[(layer_index, j)], activations
+            )
+            expression_mismatches += int(
+                np.count_nonzero(acc_rtl != acc_model[:, j])
+            )
+        layer_mismatches = int(np.count_nonzero(acc_gate != expected_gate))
+        netlist_mismatches += layer_mismatches
+        diverged = diverged or layer_mismatches > 0
+        if layer.activation is None:
+            gate_scores = acc_gate
+        else:
+            activations = layer.activation(acc_model)
+            gate_activations = (
+                layer.activation(acc_gate) if diverged else activations
+            )
+    assert gate_scores is not None  # the output layer has no activation
+
+    # ---- RTL testbench golden vectors ----
+    if testbench_text is None:
+        testbench_text = generate_testbench(mlp, vectors=vectors)
+    tb_vectors, golden = extract_testbench_vectors(testbench_text)
+    if tb_vectors.shape != vectors.shape or not np.array_equal(tb_vectors, vectors):
+        raise ValueError("testbench stimulus does not match the applied vectors")
+
+    gate_predictions = np.argmax(gate_scores, axis=1)
+    model_predictions = mlp.predict(vectors)
+    return DesignVerification(
+        num_vectors=n,
+        num_neurons=num_neurons,
+        netlist_mismatches=netlist_mismatches,
+        rtl_mismatches=int(np.count_nonzero(gate_predictions != golden)),
+        model_mismatches=int(np.count_nonzero(model_predictions != golden)),
+        expression_mismatches=expression_mismatches,
+    )
+
+
+def verify_front(
+    result: GAResult,
+    vectors: Optional[np.ndarray] = None,
+    num_vectors: int = 32,
+    seed: int = 0,
+    max_designs: Optional[int] = None,
+    cache: Optional[EvaluationCache] = None,
+) -> FrontVerification:
+    """Differentially verify every member of an estimated Pareto front.
+
+    Parameters
+    ----------
+    vectors:
+        Shared stimulus for every design; ``num_vectors`` random
+        in-range vectors (with the all-zero and all-max boundary
+        assignments pinned into the first slots) are drawn with
+        ``seed`` when omitted.
+    max_designs:
+        Optional cap on how many front members to verify (taken in
+        ascending-area order, like
+        :func:`~repro.evaluation.pareto_analysis.evaluate_front`).
+    cache:
+        Optional shared evaluation cache: decoded models are reused from
+        its ``models`` section and per-design verification results are
+        memoized in its ``reports`` section, keyed by genome and
+        stimulus fingerprint.
+    """
+    start = time.perf_counter()
+    front = result.estimated_front
+    if max_designs is not None:
+        front = front[:max_designs]
+    if not front:
+        return FrontVerification(results=[], seconds=time.perf_counter() - start)
+
+    config = result.layout.config
+    if vectors is None:
+        vectors = _draw_vectors(
+            result.layout.topology.num_inputs,
+            config.max_input_value,
+            num_vectors,
+            seed,
+        )
+    vectors = np.asarray(vectors, dtype=np.int64)
+    stimulus = (
+        EvaluationCache.split_fingerprint(vectors, np.empty(0, dtype=np.int64))
+        if cache is not None
+        else None
+    )
+    layout_key = EvaluationCache.layout_key(result.layout) if cache is not None else None
+
+    results: List[DesignVerification] = []
+    cache_hits = 0
+    for point in front:
+        key = (
+            ("rtl-verify", layout_key,
+             EvaluationCache.genome_key(np.asarray(point.payload)), stimulus)
+            if cache is not None and point.payload is not None
+            else None
+        )
+        verification = cache.reports.get(key) if key is not None else None
+        if verification is not None:
+            cache_hits += 1
+            results.append(verification)
+            continue
+        _, model = resolve_decoded_model(result, point, cache, layout_key)
+        verification = verify_design(model, vectors)
+        if key is not None:
+            cache.reports.put(key, verification)
+        results.append(verification)
+
+    return FrontVerification(
+        results=results,
+        seconds=time.perf_counter() - start,
+        cache_hits=cache_hits,
+    )

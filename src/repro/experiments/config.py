@@ -44,6 +44,12 @@ class ExperimentScale:
         genetic stage and saves it afterwards, so repeated runner
         invocations share fitness and synthesis work across process
         restarts (``runner.py --cache-dir``).
+    verify_rtl:
+        Differentially verify every synthesized front member — Python
+        model vs. gate-level netlist vs. RTL testbench golden vectors —
+        after the hardware-analysis stage (``runner.py --verify-rtl``).
+    verify_vectors:
+        Stimulus vectors per design for the RTL verification sweep.
     """
 
     name: str
@@ -63,6 +69,8 @@ class ExperimentScale:
     max_front_designs: Optional[int] = 40
     seed: int = 0
     cache_dir: Optional[str] = None
+    verify_rtl: bool = False
+    verify_vectors: int = 32
 
 
 SCALES: Dict[str, ExperimentScale] = {

@@ -34,6 +34,7 @@ from repro.evaluation.pareto_analysis import (
     select_design,
     true_pareto_front,
 )
+from repro.evaluation.verification import FrontVerification, verify_front
 from repro.experiments.config import ExperimentScale, get_scale
 from repro.hardware.synthesis import HardwareReport
 
@@ -63,6 +64,10 @@ class ApproximateResult:
     #: Evaluation cache shared between the GA, front-synthesis and
     #: reporting stages (decoded models, accuracies, hardware reports).
     cache: Optional[EvaluationCache] = None
+    #: Front-wide model/netlist/RTL differential verification; only
+    #: populated when the scale (or ``runner.py --verify-rtl``) asks
+    #: for it.
+    verification: Optional[FrontVerification] = None
 
     @property
     def true_front(self) -> List[EvaluatedDesign]:
@@ -191,6 +196,15 @@ class DatasetPipeline:
             }
         return summary
 
+    def verification_summary(self) -> Dict[str, FrontVerification]:
+        """Per-dataset front verification results (``verify_rtl`` runs only)."""
+        summary: Dict[str, FrontVerification] = {}
+        for name, result in self._cache.items():
+            approx = result.approximate
+            if approx is not None and approx.verification is not None:
+                summary[name] = approx.verification
+        return summary
+
     # ------------------------------------------------------------------
     def _build_baseline(self, name: str) -> PipelineResult:
         spec = get_spec(name)
@@ -266,6 +280,20 @@ class DatasetPipeline:
             baseline_accuracy=result.baseline.test_accuracy,
             max_accuracy_loss=max_accuracy_loss,
         )
+        verification = None
+        if self.scale.verify_rtl:
+            # Differential sign-off of the synthesized front: Python
+            # model vs. gate-level netlist vs. RTL testbench golden
+            # vectors, one batched pass per design.  Shares the same
+            # cache, so a second run (or a disk snapshot) serves the
+            # verification results without re-simulating.
+            verification = verify_front(
+                ga_result,
+                num_vectors=self.scale.verify_vectors,
+                seed=self.scale.seed,
+                max_designs=self.scale.max_front_designs,
+                cache=cache,
+            )
         if snapshot is not None:
             saved = cache.save(snapshot)
             self._cache_io[spec.name] = {"loaded": loaded, "saved": saved}
@@ -275,4 +303,5 @@ class DatasetPipeline:
             selected=selected,
             training_seconds=elapsed,
             cache=cache,
+            verification=verification,
         )

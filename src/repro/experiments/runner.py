@@ -17,6 +17,12 @@ entirely from cache (a per-dataset ``[cache]`` summary line reports the
 hit rate and the snapshot traffic).  Snapshots are versioned and keys
 are namespaced by dataset split and constraints, so one directory can
 safely be shared between scales and experiments.
+
+``--verify-rtl`` differentially verifies every synthesized front member
+after the hardware-analysis stage — Python model vs. gate-level netlist
+vs. RTL testbench golden vectors, batched over ``--verify-vectors``
+stimulus vectors — and prints a per-dataset ``[verify]`` summary line
+(see ``docs/verification.md``).
 """
 
 from __future__ import annotations
@@ -82,6 +88,21 @@ def main(argv: List[str] | None = None) -> int:
             "invocations share fitness/synthesis work across restarts"
         ),
     )
+    parser.add_argument(
+        "--verify-rtl",
+        action="store_true",
+        help=(
+            "differentially verify every synthesized front member (Python "
+            "model vs gate-level netlist vs RTL testbench golden vectors) "
+            "and print a per-dataset [verify] summary"
+        ),
+    )
+    parser.add_argument(
+        "--verify-vectors",
+        type=int,
+        default=None,
+        help="stimulus vectors per design for --verify-rtl (default: scale setting)",
+    )
     args = parser.parse_args(argv)
 
     scale = SCALES[args.scale]
@@ -91,6 +112,16 @@ def main(argv: List[str] | None = None) -> int:
         scale = dataclasses.replace(scale, ga_workers=args.workers)
     if args.cache_dir is not None:
         scale = dataclasses.replace(scale, cache_dir=args.cache_dir)
+    if args.verify_rtl:
+        scale = dataclasses.replace(scale, verify_rtl=True)
+    if args.verify_vectors is not None:
+        # The scale itself may enable verification (ExperimentScale.verify_rtl);
+        # only reject the flag when no verification will actually run.
+        if not scale.verify_rtl:
+            parser.error("--verify-vectors requires --verify-rtl")
+        if args.verify_vectors <= 0:
+            parser.error("--verify-vectors must be positive")
+        scale = dataclasses.replace(scale, verify_vectors=args.verify_vectors)
     pipeline = DatasetPipeline(scale)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
@@ -104,6 +135,19 @@ def main(argv: List[str] | None = None) -> int:
                 f"[cache] {dataset}: fitness {stats['cache_hits']}/"
                 f"{stats['evaluations']} hits ({100.0 * stats['hit_rate']:.1f}%), "
                 f"snapshot loaded {stats['loaded']} / saved {stats['saved']} entries"
+            )
+    if scale.verify_rtl:
+        for dataset, verification in sorted(pipeline.verification_summary().items()):
+            status = "OK" if verification.passed else "FAILED"
+            print(
+                f"[verify] {dataset}: {verification.num_designs} designs x "
+                f"{verification.num_vectors} vectors "
+                f"({verification.num_neuron_checks} neuron netlists) -- "
+                f"netlist {verification.netlist_mismatches} / "
+                f"RTL {verification.rtl_mismatches} / "
+                f"model {verification.model_mismatches} / "
+                f"expr {verification.expression_mismatches} mismatches "
+                f"[{status}] ({verification.seconds:.2f}s)"
             )
     return 0
 

@@ -57,7 +57,13 @@ from repro.hardware.fast_synthesis import (
     synthesize_exact_population,
 )
 from repro.hardware.netlist import Netlist, build_neuron_netlist
-from repro.hardware.simulator import simulate, verify_neuron_netlist
+from repro.hardware.simulator import (
+    CompiledNetlist,
+    compile_netlist,
+    simulate,
+    simulate_batch,
+    verify_neuron_netlist,
+)
 
 __all__ = [
     "AdderTreeCost",
@@ -89,6 +95,9 @@ __all__ = [
     "synthesize_exact_population",
     "Netlist",
     "build_neuron_netlist",
+    "CompiledNetlist",
+    "compile_netlist",
     "simulate",
+    "simulate_batch",
     "verify_neuron_netlist",
 ]

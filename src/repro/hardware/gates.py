@@ -13,7 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
-__all__ = ["GateType", "GATE_FUNCTIONS", "Gate", "gate_output_count"]
+import numpy as np
+
+__all__ = [
+    "GateType",
+    "GATE_FUNCTIONS",
+    "GATE_VECTOR_FUNCTIONS",
+    "Gate",
+    "gate_output_count",
+]
 
 
 #: Supported gate types and their boolean functions.
@@ -35,6 +43,29 @@ GATE_FUNCTIONS: Dict[str, Callable[..., Tuple[int, ...]]] = {
     # Constant generators.
     "CONST0": lambda: (0,),
     "CONST1": lambda: (1,),
+}
+
+#: Batched variants of :data:`GATE_FUNCTIONS` operating element-wise on
+#: uint8 0/1 arrays of shape ``(n_gates, n_vectors)`` — one row per gate
+#: instance of a scheduling group, one column per input vector.  Most
+#: boolean functions are expressed with XOR against 1 instead of ``1 - a``
+#: so the uint8 dtype is preserved, and MUX2 needs an explicit
+#: ``np.where`` (the scalar conditional does not broadcast).  The
+#: zero-input constant generators take the required output shape.
+GATE_VECTOR_FUNCTIONS: Dict[str, Callable[..., Tuple[np.ndarray, ...]]] = {
+    "NOT": lambda a: (a ^ 1,),
+    "BUF": lambda a: (a,),
+    "AND2": lambda a, b: (a & b,),
+    "OR2": lambda a, b: (a | b,),
+    "NAND2": lambda a, b: ((a & b) ^ 1,),
+    "NOR2": lambda a, b: ((a | b) ^ 1,),
+    "XOR2": lambda a, b: (a ^ b,),
+    "XNOR2": lambda a, b: ((a ^ b) ^ 1,),
+    "MUX2": lambda a, b, sel: (np.where(sel != 0, b, a),),
+    "HA": lambda a, b: (a ^ b, a & b),
+    "FA": lambda a, b, c: (a ^ b ^ c, (a & b) | (a & c) | (b & c)),
+    "CONST0": lambda shape: (np.zeros(shape, dtype=np.uint8),),
+    "CONST1": lambda shape: (np.ones(shape, dtype=np.uint8),),
 }
 
 #: Number of inputs expected by each gate type.

@@ -41,6 +41,11 @@ class Netlist:
     output_bits: List[int] = field(default_factory=list)
     constants: Dict[int, int] = field(default_factory=dict)
     _next_net: int = 0
+    #: Memoized :class:`~repro.hardware.simulator.CompiledNetlist`;
+    #: invalidated by the structural mutators below.  Callers that edit
+    #: the structure directly (``gates.append``, replacing
+    #: ``output_bits``) must call :meth:`invalidate_plan` themselves.
+    _plan: object = field(default=None, repr=False, compare=False)
 
     def new_net(self) -> int:
         """Allocate a fresh net id."""
@@ -48,12 +53,18 @@ class Netlist:
         self._next_net += 1
         return net
 
+    @property
+    def num_nets(self) -> int:
+        """Number of allocated net ids (net ids are ``0 .. num_nets - 1``)."""
+        return self._next_net
+
     def add_gate(self, gate_type: str, inputs: Tuple[int, ...], name: str = "") -> List[int]:
         """Instantiate a gate; returns its freshly allocated output nets."""
         from repro.hardware.gates import gate_output_count
 
         outputs = tuple(self.new_net() for _ in range(gate_output_count(gate_type)))
         self.gates.append(Gate(gate_type=gate_type, inputs=inputs, outputs=outputs, name=name))
+        self._plan = None
         return list(outputs)
 
     def add_constant(self, value: int) -> int:
@@ -62,6 +73,7 @@ class Netlist:
             raise ValueError(f"constant must be 0 or 1, got {value}")
         net = self.new_net()
         self.constants[net] = value
+        self._plan = None
         return net
 
     def add_input_bus(self, name: str, width: int) -> List[int]:
@@ -70,7 +82,52 @@ class Netlist:
             raise ValueError(f"input bus {name!r} already exists")
         nets = [self.new_net() for _ in range(width)]
         self.input_bits[name] = nets
+        self._plan = None
         return nets
+
+    def invalidate_plan(self) -> None:
+        """Drop the memoized evaluation plan after direct structural edits."""
+        self._plan = None
+
+    def _structure_key(self) -> Tuple:
+        """Structural fingerprint guarding the memoized plan.
+
+        Covers the full structure: the gate list itself (``Gate`` is a
+        frozen, comparable dataclass, so in-place element replacement is
+        caught too), net allocation, the output bus (commonly
+        *reassigned* rather than mutated through a method), constants
+        and input buses.  Building and comparing the key is O(gates) —
+        the same order as one scalar gate walk.
+        """
+        return (
+            tuple(self.gates),
+            self._next_net,
+            tuple(self.output_bits),
+            tuple(sorted(self.constants.items())),
+            tuple((name, tuple(nets)) for name, nets in self.input_bits.items()),
+        )
+
+    def compiled(self):
+        """The memoized batched evaluation plan of this netlist.
+
+        Compiling validates the structure once — every gate input and
+        every output bit must be driven by a constant, a primary input
+        or an earlier gate, each net by at most one driver, and the
+        output bus must be non-empty — then lowers the gates into
+        level-scheduled numpy kernels (see
+        :class:`~repro.hardware.simulator.CompiledNetlist`).
+
+        The plan is recompiled automatically when the structural
+        fingerprint changed since it was built (e.g. after the common
+        ``netlist.output_bits = [...]`` reassignment), so a stale plan
+        can never silently desynchronize the batched and scalar paths.
+        """
+        key = self._structure_key()
+        if self._plan is None or self._plan.structure_key != key:
+            from repro.hardware.simulator import CompiledNetlist
+
+            self._plan = CompiledNetlist(self)
+        return self._plan
 
     def cell_counts(self) -> Dict[str, int]:
         """Number of instances per gate type."""

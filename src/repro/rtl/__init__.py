@@ -12,11 +12,19 @@ the equivalent Verilog-2001 text:
   testbench whose expected responses come from the Python golden model.
 """
 
-from repro.rtl.verilog import generate_mlp_verilog, generate_neuron_expression
-from repro.rtl.testbench import generate_testbench
+from repro.rtl.verilog import (
+    evaluate_neuron_expression,
+    extract_accumulator_expressions,
+    generate_mlp_verilog,
+    generate_neuron_expression,
+)
+from repro.rtl.testbench import extract_testbench_vectors, generate_testbench
 
 __all__ = [
     "generate_mlp_verilog",
     "generate_neuron_expression",
+    "evaluate_neuron_expression",
+    "extract_accumulator_expressions",
     "generate_testbench",
+    "extract_testbench_vectors",
 ]

@@ -8,13 +8,19 @@ the paper's functional simulation step.
 
 from __future__ import annotations
 
+import re
 from typing import List, Optional
 
 import numpy as np
 
 from repro.approx.mlp import ApproximateMLP
 
-__all__ = ["generate_testbench"]
+__all__ = ["generate_testbench", "extract_testbench_vectors"]
+
+#: One applied input assignment: ``inN = <bits>'d<value>;`` lines.
+_INPUT_RE = re.compile(r"^\s*in(\d+) = \d+'d(\d+);$", re.MULTILINE)
+#: One golden self-check: ``if (class_index !== <bits>'d<value>)`` lines.
+_GOLDEN_RE = re.compile(r"class_index !== \d+'d(\d+)\)")
 
 
 def generate_testbench(
@@ -81,3 +87,39 @@ def generate_testbench(
     lines.append("    end")
     lines.append("endmodule")
     return "\n".join(lines) + "\n"
+
+
+def extract_testbench_vectors(text: str) -> tuple:
+    """Recover the applied vectors and golden responses from a testbench.
+
+    Parses the literal stimulus assignments (``inN = ...``) and golden
+    self-checks (``class_index !== ...``) out of the Verilog text emitted
+    by :func:`generate_testbench`.  This is what the differential
+    verification harness (:mod:`repro.evaluation.verification`) checks
+    the *generated RTL artifact itself* against — the golden vectors are
+    read back from the testbench text, not taken from the Python model
+    that produced it.
+
+    Returns
+    -------
+    ``(vectors, golden)`` — an ``(n, num_inputs)`` int64 array of the
+    applied input vectors and an ``(n,)`` int64 array of the expected
+    class indices.  Raises ``ValueError`` when the text does not look
+    like a generated testbench.
+    """
+    golden = np.array([int(g) for g in _GOLDEN_RE.findall(text)], dtype=np.int64)
+    assignments = [(int(i), int(v)) for i, v in _INPUT_RE.findall(text)]
+    if golden.size == 0 or not assignments:
+        raise ValueError("text does not contain generated testbench stimulus")
+    if len(assignments) % golden.size:
+        raise ValueError(
+            f"{len(assignments)} input assignments do not divide into "
+            f"{golden.size} golden checks"
+        )
+    num_inputs = len(assignments) // golden.size
+    vectors = np.zeros((golden.size, num_inputs), dtype=np.int64)
+    for flat, (index, value) in enumerate(assignments):
+        if index != flat % num_inputs:
+            raise ValueError("input assignments are not in canonical order")
+        vectors[flat // num_inputs, index] = value
+    return vectors, golden

@@ -49,9 +49,9 @@ class TestApproximateMLP:
         y = rng.integers(0, 2, size=50)
         assert 0.0 <= random_mlp.accuracy(x, y) <= 1.0
 
-    def test_mask_density_extremes(self, small_topology, approx_config, rng):
-        dense = ApproximateMLP.random(small_topology, approx_config, rng, mask_density=1.0)
-        sparse = ApproximateMLP.random(small_topology, approx_config, rng, mask_density=0.0)
+    def test_mask_density_extremes(self, small_topology, approx_config, rng, make_mlp):
+        dense = make_mlp(rng, sizes=small_topology.sizes, config=approx_config, mask_density=1.0)
+        sparse = make_mlp(rng, sizes=small_topology.sizes, config=approx_config, mask_density=0.0)
         assert dense.sparsity() == 0.0
         assert sparse.sparsity() == 1.0
         assert dense.retained_bits > sparse.retained_bits
@@ -87,8 +87,8 @@ class TestApproximateMLP:
         x = rng.integers(0, 16, size=(3, 4))
         assert np.array_equal(random_mlp(x), random_mlp.forward(x))
 
-    def test_fully_pruned_mlp_predicts_constant(self, small_topology, approx_config, rng):
-        mlp = ApproximateMLP.random(small_topology, approx_config, rng, mask_density=0.0)
+    def test_fully_pruned_mlp_predicts_constant(self, small_topology, approx_config, rng, make_mlp):
+        mlp = make_mlp(rng, sizes=small_topology.sizes, config=approx_config, mask_density=0.0)
         for layer in mlp.layers:
             layer.biases[:] = 0
         x = rng.integers(0, 16, size=(20, 4))

@@ -98,27 +98,22 @@ class TestReduceColumnsAdderCosts:
 # ----------------------------------------------------------------------
 # Approximate MLPs
 # ----------------------------------------------------------------------
-def _random_population(rng, sizes, size, config=None):
-    layout = ChromosomeLayout(Topology(sizes), config or ApproxConfig())
-    return [layout.decode(layout.random(rng)) for _ in range(size)]
-
-
 class TestApproximateEquivalence:
     @pytest.mark.parametrize(
         "sizes", [(4, 3, 2), (6, 4, 3), (5, 2), (16, 5, 10), (3, 3, 3, 2)]
     )
-    def test_population_matches_scalar_oracle(self, sizes):
+    def test_population_matches_scalar_oracle(self, sizes, random_population):
         rng = np.random.default_rng(hash(sizes) % (2**32))
-        mlps = _random_population(rng, sizes, 6)
+        mlps = random_population(rng, sizes, 6)
         fast = synthesize_approximate_population(mlps)
         for mlp, report in zip(mlps, fast):
             assert report == synthesize_approximate_mlp(mlp, slow=True)
 
     @pytest.mark.parametrize("voltage", [1.0, 0.8, 0.6])
     @pytest.mark.parametrize("include_registers", [False, True])
-    def test_operating_points(self, voltage, include_registers):
+    def test_operating_points(self, voltage, include_registers, random_population):
         rng = np.random.default_rng(5)
-        mlps = _random_population(rng, (6, 4, 3), 5)
+        mlps = random_population(rng, (6, 4, 3), 5)
         fast = synthesize_approximate_population(
             mlps, voltage=voltage, include_registers=include_registers
         )
@@ -130,24 +125,24 @@ class TestApproximateEquivalence:
                 slow=True,
             )
 
-    def test_default_path_delegates_to_fast_engine(self):
+    def test_default_path_delegates_to_fast_engine(self, random_population):
         rng = np.random.default_rng(6)
-        (mlp,) = _random_population(rng, (4, 3, 2), 1)
+        (mlp,) = random_population(rng, (4, 3, 2), 1)
         assert synthesize_approximate_mlp(mlp) == synthesize_approximate_mlp(
             mlp, slow=True
         )
 
-    def test_clock_period_is_passed_through(self):
+    def test_clock_period_is_passed_through(self, random_population):
         rng = np.random.default_rng(7)
-        (mlp,) = _random_population(rng, (4, 3, 2), 1)
+        (mlp,) = random_population(rng, (4, 3, 2), 1)
         report = synthesize_approximate_population([mlp], clock_period_ms=250.0)[0]
         assert report.clock_period_ms == pytest.approx(250.0)
 
-    def test_empty_and_heterogeneous_inputs(self):
+    def test_empty_and_heterogeneous_inputs(self, random_population):
         assert synthesize_approximate_population([]) == []
         rng = np.random.default_rng(8)
-        a = _random_population(rng, (4, 3, 2), 1)
-        b = _random_population(rng, (5, 3, 2), 1)
+        a = random_population(rng, (4, 3, 2), 1)
+        b = random_population(rng, (5, 3, 2), 1)
         with pytest.raises(ValueError):
             synthesize_approximate_population(a + b)
 

@@ -4,10 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.approx.config import ApproxConfig
-from repro.approx.mlp import ApproximateMLP
 from repro.approx.neuron import ApproximateNeuron
-from repro.approx.topology import Topology
 from repro.hardware.gates import GATE_FUNCTIONS, Gate, gate_output_count
 from repro.hardware.netlist import build_neuron_netlist
 from repro.hardware.simulator import simulate, simulate_neuron_netlist, verify_neuron_netlist
@@ -51,16 +48,6 @@ class TestGates:
             gate_output_count("BAD")
 
 
-def make_neuron(rng, fan_in=4, input_bits=4):
-    return ApproximateNeuron(
-        masks=rng.integers(0, 1 << input_bits, size=fan_in),
-        signs=rng.choice([-1, 1], size=fan_in),
-        exponents=rng.integers(0, 5, size=fan_in),
-        bias=int(rng.integers(-64, 64)),
-        input_bits=input_bits,
-    )
-
-
 class TestNetlistSimulation:
     def test_positive_only_neuron(self):
         neuron = ApproximateNeuron(
@@ -93,23 +80,23 @@ class TestNetlistSimulation:
         )
         assert simulate_neuron_netlist(neuron, [[0b1111]]) == [0b1010]
 
-    def test_verify_random_neurons(self, rng):
+    def test_verify_random_neurons(self, rng, make_neuron):
         for _ in range(5):
             assert verify_neuron_netlist(make_neuron(rng), rng=rng, num_vectors=8)
 
-    def test_simulate_missing_input_raises(self, rng):
+    def test_simulate_missing_input_raises(self, rng, make_neuron):
         neuron = make_neuron(rng)
         netlist = build_neuron_netlist(neuron)
         with pytest.raises(KeyError):
             simulate(netlist, {})
 
-    def test_simulate_rejects_out_of_range_value(self, rng):
+    def test_simulate_rejects_out_of_range_value(self, rng, make_neuron):
         neuron = make_neuron(rng, fan_in=1)
         netlist = build_neuron_netlist(neuron)
         with pytest.raises(ValueError):
             simulate(netlist, {"x0": 16})
 
-    def test_netlist_cell_counts_nonempty(self, rng):
+    def test_netlist_cell_counts_nonempty(self, rng, make_neuron):
         netlist = build_neuron_netlist(make_neuron(rng))
         counts = netlist.cell_counts()
         assert netlist.num_gates == sum(counts.values())
@@ -117,7 +104,7 @@ class TestNetlistSimulation:
 
     @settings(max_examples=15, deadline=None)
     @given(st.integers(min_value=0, max_value=10**9))
-    def test_property_netlist_matches_model(self, seed):
+    def test_property_netlist_matches_model(self, make_neuron, seed):
         rng = np.random.default_rng(seed)
         neuron = make_neuron(rng, fan_in=int(rng.integers(1, 6)))
         assert verify_neuron_netlist(neuron, rng=rng, num_vectors=6)
@@ -125,8 +112,8 @@ class TestNetlistSimulation:
 
 class TestVerilogGeneration:
     @pytest.fixture
-    def mlp(self, rng):
-        return ApproximateMLP.random(Topology((4, 3, 2)), ApproxConfig(), rng, mask_density=0.7)
+    def mlp(self, rng, make_mlp):
+        return make_mlp(rng, sizes=(4, 3, 2), mask_density=0.7)
 
     def test_module_structure(self, mlp):
         text = generate_mlp_verilog(mlp, module_name="bc_mlp")
@@ -144,8 +131,8 @@ class TestVerilogGeneration:
             i = int(nonzero[0])
             assert f"in{i} & 4'd{int(layer.masks[i, 0])}" in text
 
-    def test_neuron_expression_zero_when_pruned(self, rng):
-        mlp = ApproximateMLP.random(Topology((3, 2, 2)), ApproxConfig(), rng, mask_density=0.0)
+    def test_neuron_expression_zero_when_pruned(self, rng, make_mlp):
+        mlp = make_mlp(rng, sizes=(3, 2, 2), mask_density=0.0)
         for layer in mlp.layers:
             layer.biases[:] = 0
         expr = generate_neuron_expression(mlp, 0, 0, "in")
