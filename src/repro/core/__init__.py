@@ -24,7 +24,7 @@ unavailable and the paper trains with NSGA-II.
   whole flow and producing the estimated area/accuracy Pareto front.
 """
 
-from repro.core.cache import EvaluationCache, LRUCache
+from repro.core.cache import EvaluationCache, LRUCache, SnapshotPolicy
 from repro.core.chromosome import ChromosomeLayout
 from repro.core.fitness import FitnessEvaluator, FitnessValues
 from repro.core.nsga2 import crowding_distance, fast_non_dominated_sort
@@ -36,6 +36,7 @@ from repro.core.trainer import GAConfig, GAResult, GATrainer
 __all__ = [
     "EvaluationCache",
     "LRUCache",
+    "SnapshotPolicy",
     "ChromosomeLayout",
     "FitnessEvaluator",
     "FitnessValues",

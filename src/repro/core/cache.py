@@ -43,6 +43,15 @@ different datasets, scales or constraints can share a directory without
 colliding.  Loading is corruption-tolerant: a missing, truncated,
 garbage or version-mismatched file restores nothing instead of raising,
 so a crashed writer can never take down the next run.
+
+Long-lived cache directories are kept bounded by **snapshot
+compaction**: every entry carries a last-used timestamp, and
+:meth:`EvaluationCache.save` accepts a :class:`SnapshotPolicy` whose
+age, per-section-entry and total-byte bounds are applied at write time —
+entries a policy drops simply fall out of the snapshot (most recently
+used survive first), so a directory accumulated over many runs shrinks
+back to the configured bounds on the next save instead of growing with
+the union of everything ever evaluated.
 """
 
 from __future__ import annotations
@@ -52,13 +61,15 @@ import logging
 import os
 import pickle
 import tempfile
+import time
 from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Hashable, List, Union
+from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
 
 import numpy as np
 
-__all__ = ["LRUCache", "EvaluationCache", "CACHE_FORMAT_VERSION"]
+__all__ = ["LRUCache", "EvaluationCache", "SnapshotPolicy", "CACHE_FORMAT_VERSION"]
 
 _LOGGER = logging.getLogger(__name__)
 
@@ -67,8 +78,34 @@ _MISSING = object()
 #: Magic marker + schema version of the on-disk snapshot format.  Bump
 #: the version whenever key structure or cached value types change; old
 #: snapshots are then ignored (never mis-read) by :meth:`EvaluationCache.load`.
+#: Version 2 stores each entry as a ``(key, value, last_used)`` triple
+#: so snapshot compaction can age entries across process restarts.
 _SNAPSHOT_MAGIC = "repro-evaluation-cache"
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
+
+
+@dataclass(frozen=True)
+class SnapshotPolicy:
+    """Compaction bounds applied by :meth:`EvaluationCache.save`.
+
+    All bounds are optional; ``None`` disables that bound.  Bounds are
+    applied in order: first entries whose last use is older than
+    ``max_age_seconds`` are dropped, then each section is truncated to
+    its ``max_entries_per_section`` most recently used entries, and
+    finally — if the pickled snapshot still exceeds
+    ``max_total_bytes`` — the least recently used half of every section
+    is dropped repeatedly until the snapshot fits (or is empty).
+    """
+
+    max_age_seconds: Optional[float] = None
+    max_entries_per_section: Optional[int] = None
+    max_total_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_age_seconds", "max_entries_per_section", "max_total_bytes"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
 
 #: The only non-builtin globals a snapshot may reference.  Snapshot
 #: payloads are plain data (tuples, bytes, numbers, dicts) plus these
@@ -102,7 +139,10 @@ class LRUCache:
 
     Unlike a plain insertion-ordered dict bound, a :meth:`get` hit moves
     the entry to the back of the eviction queue, so entries are evicted
-    in true LRU order.  ``hits`` / ``misses`` count lookups.
+    in true LRU order.  ``hits`` / ``misses`` count lookups.  Each entry
+    also carries a last-used wall-clock timestamp, which snapshot
+    compaction (:class:`SnapshotPolicy`) uses to age entries out of
+    long-lived cache directories.
     """
 
     def __init__(self, max_size: int) -> None:
@@ -112,6 +152,7 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._stamps: Dict[Hashable, float] = {}
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, refreshing its recency on a hit."""
@@ -120,6 +161,7 @@ class LRUCache:
             self.misses += 1
             return default
         self._data.move_to_end(key)
+        self._stamps[key] = time.time()
         self.hits += 1
         return value
 
@@ -128,8 +170,14 @@ class LRUCache:
         data = self._data
         data[key] = value
         data.move_to_end(key)
+        self._stamps[key] = time.time()
         while len(data) > self.max_size:
-            data.popitem(last=False)
+            evicted, _ = data.popitem(last=False)
+            self._stamps.pop(evicted, None)
+
+    def last_used(self, key: Hashable) -> Optional[float]:
+        """Wall-clock time of the entry's last :meth:`put`/:meth:`get` hit."""
+        return self._stamps.get(key)
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data
@@ -144,6 +192,7 @@ class LRUCache:
     def clear(self) -> None:
         """Drop every entry (counters are retained)."""
         self._data.clear()
+        self._stamps.clear()
 
     @property
     def hit_rate(self) -> float:
@@ -260,33 +309,73 @@ class EvaluationCache:
     #: the genomes anyway.
     _PERSISTED_SECTIONS = ("fitness", "accuracy", "reports")
 
-    def save(self, path: Union[str, Path]) -> int:
+    def save(
+        self,
+        path: Union[str, Path],
+        policy: Optional[SnapshotPolicy] = None,
+        *,
+        now: Optional[float] = None,
+    ) -> int:
         """Snapshot the data sections to ``path``; returns entries written.
 
         The write is atomic (temp file + rename), so a crash mid-save
         leaves any previous snapshot intact.  Entries are stored in LRU
-        order (least recently used first), so a later :meth:`load` into
-        a smaller cache keeps the hottest entries.
+        order (least recently used first) together with their last-used
+        timestamps, so a later :meth:`load` into a smaller cache keeps
+        the hottest entries and compaction can age entries across runs.
+
+        ``policy`` bounds the snapshot (see :class:`SnapshotPolicy`);
+        ``now`` overrides the reference time of the age bound (tests).
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        sections = {}
-        total = 0
+        if now is None:
+            now = time.time()
+        sections: Dict[str, List[Tuple[Hashable, Any, float]]] = {}
         for name in self._PERSISTED_SECTIONS:
-            entries = list(getattr(self, name)._data.items())
+            section = getattr(self, name)
+            entries = [
+                (key, value, section._stamps.get(key, now))
+                for key, value in section._data.items()
+            ]
+            if policy is not None and policy.max_age_seconds is not None:
+                entries = [
+                    entry for entry in entries if now - entry[2] <= policy.max_age_seconds
+                ]
+            if (
+                policy is not None
+                and policy.max_entries_per_section is not None
+                and len(entries) > policy.max_entries_per_section
+            ):
+                # LRU order: the most recently used entries are at the tail.
+                entries = entries[-policy.max_entries_per_section :]
             sections[name] = entries
-            total += len(entries)
-        payload = {
-            "magic": _SNAPSHOT_MAGIC,
-            "version": CACHE_FORMAT_VERSION,
-            "sections": sections,
-        }
+
+        def _serialize() -> Tuple[bytes, int]:
+            payload = {
+                "magic": _SNAPSHOT_MAGIC,
+                "version": CACHE_FORMAT_VERSION,
+                "sections": sections,
+            }
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            return blob, sum(len(entries) for entries in sections.values())
+
+        blob, total = _serialize()
+        if policy is not None and policy.max_total_bytes is not None:
+            while len(blob) > policy.max_total_bytes and total > 0:
+                # Drop the least recently used half of every section and
+                # re-measure; converges in O(log entries) pickles.
+                sections = {
+                    name: entries[len(entries) // 2 + len(entries) % 2 :]
+                    for name, entries in sections.items()
+                }
+                blob, total = _serialize()
         fd, tmp_name = tempfile.mkstemp(
             dir=str(path.parent), prefix=path.name, suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(blob)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -335,8 +424,13 @@ class EvaluationCache:
             entries = sections.get(name, [])
             section = getattr(self, name)
             try:
-                for key, value in entries:
+                for key, value, stamp in entries:
                     section.put(key, value)
+                    # Preserve the persisted last-used time so the age
+                    # bound keeps working across process restarts (put
+                    # freshly stamped the entry with "now").
+                    if key in section._data:
+                        section._stamps[key] = float(stamp)
                     total += 1
             except (TypeError, ValueError) as error:
                 _LOGGER.warning(

@@ -1,5 +1,6 @@
 """Evaluation harness: metrics, hardware Pareto analysis, feasibility, reports."""
 
+from repro.evaluation.artifacts import ARTIFACT_SCHEMA_VERSION, Artifact, ArtifactError
 from repro.evaluation.metrics import (
     accuracy_score,
     confusion_matrix,
@@ -13,15 +14,19 @@ from repro.evaluation.pareto_analysis import (
     select_design,
 )
 from repro.evaluation.feasibility import FeasibilityResult, assess_feasibility
-from repro.evaluation.report import format_table, reduction_factor
+from repro.evaluation.report import format_rows, format_table, reduction_factor
 from repro.evaluation.verification import (
     DesignVerification,
     FrontVerification,
+    NetlistPlanCache,
     verify_design,
     verify_front,
 )
 
 __all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "Artifact",
+    "ArtifactError",
     "accuracy_score",
     "confusion_matrix",
     "error_rate",
@@ -32,10 +37,12 @@ __all__ = [
     "select_design",
     "FeasibilityResult",
     "assess_feasibility",
+    "format_rows",
     "format_table",
     "reduction_factor",
     "DesignVerification",
     "FrontVerification",
+    "NetlistPlanCache",
     "verify_design",
     "verify_front",
 ]

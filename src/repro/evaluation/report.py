@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Mapping, Sequence, Tuple
 
-__all__ = ["reduction_factor", "format_table"]
+__all__ = ["reduction_factor", "format_table", "format_rows"]
 
 
 def reduction_factor(baseline: float, approximate: float) -> float:
@@ -35,6 +35,22 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
     for row in rows:
         lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def format_rows(
+    display: Sequence[Tuple[str, str]], rows: Iterable[Mapping[str, object]]
+) -> str:
+    """Render row mappings through a ``(header, row key)`` column spec.
+
+    This is the shared rendering path of the experiment formatters and
+    :meth:`~repro.evaluation.artifacts.Artifact.format`, so the legacy
+    ``format_<experiment>`` shims and the session API print identical
+    tables.
+    """
+    headers = [header for header, _ in display]
+    return format_table(
+        headers, [[row.get(key) for _, key in display] for row in rows]
+    )
 
 
 def _fmt(value: object) -> str:

@@ -30,13 +30,22 @@ Pareto front, reusing decoded models from the shared
 verification results in its ``reports`` section, so reporting stages
 and repeated runs never re-simulate a design already verified on the
 same vectors.
+
+Front verification is additionally **batched across designs**: the
+members of one front are closely related elites, so many of their
+neurons carry identical (mask, sign, exponent, bias) parameters — and
+two parameter-identical neurons lower to the same netlist.  A
+:class:`NetlistPlanCache` shared across the whole front builds and
+compiles each distinct neuron structure once; every later design that
+contains the same neuron reuses the level-scheduled evaluation plan
+instead of rebuilding and recompiling it.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,9 +65,54 @@ from repro.rtl.verilog import (
 __all__ = [
     "DesignVerification",
     "FrontVerification",
+    "NetlistPlanCache",
     "verify_design",
     "verify_front",
 ]
+
+
+class NetlistPlanCache:
+    """Compiled neuron netlists keyed by the neuron's parameters.
+
+    Two neurons with identical ``(input_bits, masks, signs, exponents,
+    bias)`` lower to the same adder-tree netlist, so one built-and-
+    compiled :class:`~repro.hardware.netlist.Netlist` (whose evaluation
+    plan is memoized on it) can serve both — across layers, and across
+    every design of a front.  ``hits`` / ``misses`` count lookups, so
+    callers can report how much compile work the sharing saved.
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._plans: Dict[Tuple, object] = {}
+
+    @staticmethod
+    def structure_key(neuron) -> Tuple:
+        """The parameter fingerprint that fully determines the netlist."""
+        return (
+            int(neuron.input_bits),
+            neuron.masks.tobytes(),
+            neuron.signs.tobytes(),
+            neuron.exponents.tobytes(),
+            int(neuron.bias),
+        )
+
+    def netlist(self, neuron):
+        """The (shared) netlist of ``neuron``, built on first request."""
+        key = self.structure_key(neuron)
+        netlist = self._plans.get(key)
+        if netlist is None:
+            self.misses += 1
+            netlist = build_neuron_netlist(neuron)
+            netlist.compiled()  # compile eagerly so reuse skips it too
+            self._plans[key] = netlist
+        else:
+            self.hits += 1
+        return netlist
+
+    def __len__(self) -> int:
+        return len(self._plans)
 
 
 @dataclass(frozen=True)
@@ -105,6 +159,11 @@ class FrontVerification:
     seconds: float
     #: Designs whose verification was served from the evaluation cache.
     cache_hits: int = 0
+    #: Distinct neuron netlists built + compiled across the front.
+    plans_compiled: int = 0
+    #: Neuron simulations that reused an already compiled plan (same
+    #: neuron parameters seen earlier in this front).
+    plan_reuses: int = 0
 
     @property
     def num_designs(self) -> int:
@@ -172,6 +231,7 @@ def verify_design(
     vectors: np.ndarray,
     testbench_text: Optional[str] = None,
     verilog_text: Optional[str] = None,
+    plan_cache: Optional[NetlistPlanCache] = None,
 ) -> DesignVerification:
     """Differentially verify one design on a batch of input vectors.
 
@@ -188,6 +248,10 @@ def verify_design(
         parsed back out and independently executed; generated from
         ``mlp`` when omitted.  Tampering with a mask/shift/bias literal
         in this text is likewise detected.
+    plan_cache:
+        Optional shared :class:`NetlistPlanCache`;
+        :func:`verify_front` passes one cache for the whole front so
+        parameter-identical neurons are built and compiled once.
     """
     vectors = np.asarray(vectors, dtype=np.int64)
     if vectors.ndim != 2 or vectors.shape[1] != mlp.topology.num_inputs:
@@ -225,7 +289,11 @@ def verify_design(
         acc_gate = np.empty((n, layer.fan_out), dtype=np.int64)
         buses = {f"x{i}": gate_activations[:, i] for i in range(layer.fan_in)}
         for j in range(layer.fan_out):
-            netlist = build_neuron_netlist(layer.neuron(j))
+            neuron = layer.neuron(j)
+            if plan_cache is not None:
+                netlist = plan_cache.netlist(neuron)
+            else:
+                netlist = build_neuron_netlist(neuron)
             acc_gate[:, j] = simulate_batch(netlist, buses)
             num_neurons += 1
             # The emitted RTL expression, executed independently on the
@@ -319,6 +387,10 @@ def verify_front(
 
     results: List[DesignVerification] = []
     cache_hits = 0
+    # One plan cache for the whole front: parameter-identical neurons
+    # (ubiquitous among related elites) share one compiled netlist
+    # schedule instead of being rebuilt and recompiled per design.
+    plan_cache = NetlistPlanCache()
     for point in front:
         key = (
             ("rtl-verify", layout_key,
@@ -332,7 +404,7 @@ def verify_front(
             results.append(verification)
             continue
         _, model = resolve_decoded_model(result, point, cache, layout_key)
-        verification = verify_design(model, vectors)
+        verification = verify_design(model, vectors, plan_cache=plan_cache)
         if key is not None:
             cache.reports.put(key, verification)
         results.append(verification)
@@ -341,4 +413,6 @@ def verify_front(
         results=results,
         seconds=time.perf_counter() - start,
         cache_hits=cache_hits,
+        plans_compiled=plan_cache.misses,
+        plan_reuses=plan_cache.hits,
     )

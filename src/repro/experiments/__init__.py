@@ -1,6 +1,19 @@
 """Experiment harness reproducing every table and figure of the paper.
 
-Each module regenerates one artifact:
+The public entry point is the :class:`~repro.experiments.session.ExperimentSession`:
+each paper artifact (Table I/II/III, Fig. 4/5, the ablations) is a
+declared stage graph over typed
+:class:`~repro.evaluation.artifacts.Artifact` results, and the heavy
+per-dataset stages (gradient baseline, hardware-aware GA front, TC'23
+sweep) are memoized so experiments share them::
+
+    from repro.experiments import ExperimentSession
+
+    session = ExperimentSession("smoke")
+    artifacts = session.run(["table2", "fig4"])
+    print(artifacts["table2"].format())
+
+Each module declares one artifact's rows:
 
 * :mod:`repro.experiments.table1` — Table I (exact bespoke baselines),
 * :mod:`repro.experiments.table2` — Table II (our approximate MLPs at
@@ -14,11 +27,19 @@ Each module regenerates one artifact:
   choices (approximation modes, doping, accuracy-loss constraint).
 
 All experiments accept an :class:`~repro.experiments.config.ExperimentScale`
-so they can run at CI-friendly budgets or at paper-scale budgets.
+so they can run at CI-friendly budgets or at paper-scale budgets.  The
+legacy ``run_<experiment>`` entry points remain as deprecation shims
+over the session.
 """
 
 from repro.experiments.config import ExperimentScale, SCALES, get_scale
 from repro.experiments.pipeline import DatasetPipeline, PipelineResult
+from repro.experiments.session import (
+    EXPERIMENT_DEFINITIONS,
+    EXPERIMENT_ORDER,
+    ExperimentDefinition,
+    ExperimentSession,
+)
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
@@ -32,6 +53,10 @@ __all__ = [
     "get_scale",
     "DatasetPipeline",
     "PipelineResult",
+    "ExperimentSession",
+    "ExperimentDefinition",
+    "EXPERIMENT_DEFINITIONS",
+    "EXPERIMENT_ORDER",
     "run_table1",
     "run_table2",
     "run_table3",

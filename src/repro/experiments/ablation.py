@@ -12,6 +12,12 @@ decisions the paper motivates but does not quantify separately):
   and with/without the 10 % accuracy-loss feasibility constraint,
   comparing final hypervolume and best accuracy; this quantifies the
   two convergence aids of Section IV-A.
+
+Under the session API the *identity* variants — both approximations
+enabled, doped + constrained — are exactly the configuration of the
+shared ``ga_front`` stage, so they reuse its trained result; only the
+genuinely restricted/altered variants train their own (memoized)
+``ga_variant`` stages.
 """
 
 from __future__ import annotations
@@ -20,18 +26,22 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.core.chromosome import GENES_PER_CONNECTION
-from repro.core.trainer import GAConfig, GATrainer
+from repro.core.trainer import GAConfig, GAResult, GATrainer
 from repro.core.pareto import hypervolume
 from repro.evaluation.report import format_table
 from repro.experiments.config import ExperimentScale
 from repro.experiments.pipeline import DatasetPipeline
 
 __all__ = [
+    "build_approximation_ablation",
+    "build_ga_settings_ablation",
     "run_approximation_ablation",
     "run_ga_settings_ablation",
     "format_ablation",
 ]
+
+#: Dataset the ablations run on (small enough to train several variants).
+ABLATION_DATASET = "breast_cancer"
 
 
 def _freeze_masks_open(trainer: GATrainer) -> None:
@@ -55,17 +65,43 @@ def _freeze_exponents_zero(trainer: GATrainer) -> None:
     layout.upper_bounds[exponent_flags] = 0
 
 
-def run_approximation_ablation(
-    pipeline: Union[DatasetPipeline, ExperimentScale, str] = "ci",
-    dataset: str = "breast_cancer",
+def _train_variant(
+    session,
+    dataset: str,
+    restrict,
+    doping_fraction: Optional[float] = None,
+    constrained: bool = True,
+) -> GAResult:
+    """One ablation GA run at the session's scale budgets."""
+    result = session.baseline(dataset)
+    x_train, y_train = result.dataset.quantized_train()
+    scale = session.scale
+    kwargs = {} if doping_fraction is None else {"doping_fraction": doping_fraction}
+    ga_config = GAConfig(
+        population_size=scale.ga_population,
+        generations=scale.ga_generations,
+        seed=scale.seed,
+        **kwargs,
+    )
+    trainer = GATrainer(result.spec.mlp_topology, ga_config=ga_config)
+    if restrict is not None:
+        restrict(trainer)
+    doped = ga_config.doping_fraction > 0
+    return trainer.train(
+        x_train,
+        y_train,
+        baseline_accuracy=result.baseline.train_accuracy if constrained else None,
+        seed_model=result.baseline.float_model if doped else None,
+    )
+
+
+def build_approximation_ablation(
+    session,
+    dataset: str = ABLATION_DATASET,
     max_accuracy_loss: float = 0.05,
 ) -> List[Dict]:
     """Compare pow2-only, mask-only and combined approximation modes."""
-    if not isinstance(pipeline, DatasetPipeline):
-        pipeline = DatasetPipeline(pipeline)
-    scale = pipeline.scale
-    result = pipeline.dataset(dataset)
-    x_train, y_train = result.dataset.quantized_train()
+    result = session.baseline(dataset)
     x_test, y_test = result.dataset.quantized_test()
 
     modes = {
@@ -75,20 +111,18 @@ def run_approximation_ablation(
     }
     rows: List[Dict] = []
     for mode, restrict in modes.items():
-        ga_config = GAConfig(
-            population_size=scale.ga_population,
-            generations=scale.ga_generations,
-            seed=scale.seed,
-        )
-        trainer = GATrainer(result.spec.mlp_topology, ga_config=ga_config)
-        if restrict is not None:
-            restrict(trainer)
-        ga_result = trainer.train(
-            x_train,
-            y_train,
-            baseline_accuracy=result.baseline.train_accuracy,
-            seed_model=result.baseline.float_model,
-        )
+        if restrict is None:
+            # Both approximations enabled is exactly the shared front
+            # stage's configuration: reuse its trained result.
+            front = session.front(dataset)
+            assert front.approximate is not None
+            ga_result = front.approximate.ga_result
+        else:
+            ga_result = session.ga_variant(
+                dataset,
+                f"approx:{mode}",
+                lambda restrict=restrict: _train_variant(session, dataset, restrict),
+            )
         point = ga_result.select_within_accuracy_loss(max_accuracy_loss)
         best = ga_result.best_accuracy_point()
         rows.append(
@@ -109,17 +143,10 @@ def run_approximation_ablation(
     return rows
 
 
-def run_ga_settings_ablation(
-    pipeline: Union[DatasetPipeline, ExperimentScale, str] = "ci",
-    dataset: str = "breast_cancer",
+def build_ga_settings_ablation(
+    session, dataset: str = ABLATION_DATASET
 ) -> List[Dict]:
     """Compare doped vs random init and constrained vs unconstrained GA."""
-    if not isinstance(pipeline, DatasetPipeline):
-        pipeline = DatasetPipeline(pipeline)
-    scale = pipeline.scale
-    result = pipeline.dataset(dataset)
-    x_train, y_train = result.dataset.quantized_train()
-
     settings = [
         ("doped+constraint", 0.10, True),
         ("random_init", 0.0, True),
@@ -127,32 +154,66 @@ def run_ga_settings_ablation(
     ]
     rows: List[Dict] = []
     for label, doping, constrained in settings:
-        ga_config = GAConfig(
-            population_size=scale.ga_population,
-            generations=scale.ga_generations,
-            doping_fraction=doping,
-            seed=scale.seed,
-        )
-        trainer = GATrainer(result.spec.mlp_topology, ga_config=ga_config)
-        ga_result = trainer.train(
-            x_train,
-            y_train,
-            baseline_accuracy=result.baseline.train_accuracy if constrained else None,
-            seed_model=result.baseline.float_model if doping > 0 else None,
-        )
-        front = ga_result.estimated_front
-        reference_area = max((p.area for p in front), default=1.0) * 1.1 + 1.0
+        if label == "doped+constraint":
+            # Default doping + constraint is the shared front stage's
+            # configuration: reuse its trained result.
+            front = session.front(dataset)
+            assert front.approximate is not None
+            ga_result = front.approximate.ga_result
+        else:
+            ga_result = session.ga_variant(
+                dataset,
+                f"settings:{label}",
+                lambda doping=doping, constrained=constrained: _train_variant(
+                    session,
+                    dataset,
+                    None,
+                    doping_fraction=doping,
+                    constrained=constrained,
+                ),
+            )
+        front_points = ga_result.estimated_front
+        reference_area = max((p.area for p in front_points), default=1.0) * 1.1 + 1.0
         rows.append(
             {
                 "dataset": dataset,
                 "setting": label,
-                "hypervolume": hypervolume(front, (1.0, reference_area)),
-                "best_accuracy": max((p.accuracy for p in front), default=0.0),
-                "min_fa_count": min((p.area for p in front), default=float("nan")),
-                "front_size": len(front),
+                "hypervolume": hypervolume(front_points, (1.0, reference_area)),
+                "best_accuracy": max((p.accuracy for p in front_points), default=0.0),
+                "min_fa_count": min((p.area for p in front_points), default=float("nan")),
+                "front_size": len(front_points),
             }
         )
     return rows
+
+
+def run_approximation_ablation(
+    pipeline: Union[DatasetPipeline, ExperimentScale, str] = "ci",
+    dataset: str = ABLATION_DATASET,
+    max_accuracy_loss: float = 0.05,
+) -> List[Dict]:
+    """Approximation-mode ablation (deprecated shim; use the session API)."""
+    from repro.experiments.session import ExperimentSession
+
+    session = ExperimentSession.coerce(pipeline)
+    if dataset == ABLATION_DATASET and max_accuracy_loss == 0.05:
+        return [dict(row) for row in session.artifact("ablation_approx").rows]
+    return build_approximation_ablation(
+        session, dataset=dataset, max_accuracy_loss=max_accuracy_loss
+    )
+
+
+def run_ga_settings_ablation(
+    pipeline: Union[DatasetPipeline, ExperimentScale, str] = "ci",
+    dataset: str = ABLATION_DATASET,
+) -> List[Dict]:
+    """GA-settings ablation (deprecated shim; use the session API)."""
+    from repro.experiments.session import ExperimentSession
+
+    session = ExperimentSession.coerce(pipeline)
+    if dataset == ABLATION_DATASET:
+        return [dict(row) for row in session.artifact("ablation_ga").rows]
+    return build_ga_settings_ablation(session, dataset=dataset)
 
 
 def format_ablation(rows: List[Dict]) -> str:

@@ -44,6 +44,18 @@ class ExperimentScale:
         genetic stage and saves it afterwards, so repeated runner
         invocations share fitness and synthesis work across process
         restarts (``runner.py --cache-dir``).
+    cache_max_age_days:
+        Snapshot-compaction age bound: entries whose last use is older
+        than this many days are dropped when the snapshot is saved, so
+        long-lived cache directories do not grow with the union of every
+        run ever made (``None`` keeps entries regardless of age).
+    cache_max_snapshot_bytes:
+        Snapshot-compaction size bound: a saved snapshot is shrunk
+        (least recently used entries first) until the file fits.
+    dataset_workers:
+        Threads used to warm the per-dataset heavy stages (gradient
+        baseline + GA front) in parallel before experiments read them
+        (``ExperimentSession.prefetch``); 0/1 keeps execution serial.
     verify_rtl:
         Differentially verify every synthesized front member — Python
         model vs. gate-level netlist vs. RTL testbench golden vectors —
@@ -69,6 +81,9 @@ class ExperimentScale:
     max_front_designs: Optional[int] = 40
     seed: int = 0
     cache_dir: Optional[str] = None
+    cache_max_age_days: Optional[float] = 30.0
+    cache_max_snapshot_bytes: Optional[int] = None
+    dataset_workers: int = 0
     verify_rtl: bool = False
     verify_vectors: int = 32
 

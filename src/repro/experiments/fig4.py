@@ -11,32 +11,43 @@ each normalized to the exact bespoke baseline (the paper's Fig. 4 plots
 these normalized values on a log axis).  The accuracy of every design is
 reported alongside, because the stochastic baseline's gains come at a
 catastrophic accuracy cost — the paper's key qualitative point.
+
+The builder reads the session's shared ``ga_front``/``tc23`` stages
+(also consumed by Table II and Fig. 5) and the memoized ``vos``/
+``stochastic`` baseline stages.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Union
 
-from repro.baselines.stochastic_date21 import StochasticConfig, StochasticMLP
-from repro.baselines.vos_tcad23 import explore_vos
-from repro.evaluation.report import format_table, reduction_factor
+from repro.evaluation.pareto_analysis import select_design
+from repro.evaluation.report import format_rows, reduction_factor
 from repro.experiments.config import ExperimentScale
 from repro.experiments.pipeline import DatasetPipeline
 from repro.experiments.table2 import ACCURACY_LOSS_BUDGET
 
-__all__ = ["run_fig4", "format_fig4"]
+__all__ = ["DISPLAY", "build_fig4", "run_fig4", "format_fig4"]
+
+#: (header, row key) pairs of the printed table.
+DISPLAY = (
+    ("MLP", "dataset"),
+    ("Method", "method"),
+    ("Acc", "accuracy"),
+    ("Norm. Area", "norm_area"),
+    ("Norm. Power", "norm_power"),
+    ("Area Red.", "area_reduction"),
+    ("Power Red.", "power_reduction"),
+)
 
 
-def run_fig4(
-    pipeline: Union[DatasetPipeline, ExperimentScale, str] = "ci",
-    max_accuracy_loss: float = ACCURACY_LOSS_BUDGET,
+def build_fig4(
+    session, max_accuracy_loss: float = ACCURACY_LOSS_BUDGET
 ) -> List[Dict]:
-    """Regenerate the Fig. 4 comparison (one row per dataset and method)."""
-    if not isinstance(pipeline, DatasetPipeline):
-        pipeline = DatasetPipeline(pipeline)
+    """Fig. 4 rows (one per dataset and method)."""
     rows: List[Dict] = []
-    for name in pipeline.scale.datasets:
-        result = pipeline.approximate(name, max_accuracy_loss=max_accuracy_loss)
+    for name in session.scale.datasets:
+        result = session.front(name, max_accuracy_loss=max_accuracy_loss)
         spec = result.spec
         baseline = result.baseline
         base_area = baseline.report.area_cm2
@@ -58,56 +69,49 @@ def run_fig4(
                 }
             )
 
-        # Ours (Table II operating point).
+        # Ours (Table II operating point, re-selected from the shared
+        # front stage at this call's accuracy-loss budget).
         approx = result.approximate
-        assert approx is not None and approx.selected is not None
-        selected = approx.selected
+        assert approx is not None
+        selected = select_design(
+            approx.designs,
+            baseline_accuracy=baseline.test_accuracy,
+            max_accuracy_loss=max_accuracy_loss,
+        )
+        assert selected is not None
         add_row("ours", selected.test_accuracy, selected.area_cm2, selected.power_mw)
 
-        # TC'23 post-training approximation (sweep shared with Fig. 5
-        # through the pipeline's memo).
-        tc_model, tc_report, _ = pipeline.tc23(name, max_accuracy_loss=max_accuracy_loss)
+        # TC'23 post-training approximation (stage shared with Fig. 5).
+        tc_model, tc_report, _ = session.tc23(name, max_accuracy_loss=max_accuracy_loss)
         if tc_model is not None and tc_report is not None:
             add_row("tc23", tc_model.accuracy(x_test, y_test), tc_report.area_cm2, tc_report.power_mw)
 
         # TCAD'23 cross-approximation + VOS.
-        vos_model, vos_report, _ = explore_vos(
-            baseline.bespoke,
-            x_test,
-            y_test,
-            baseline_accuracy=baseline.test_accuracy,
-            max_accuracy_loss=max_accuracy_loss,
-            clock_period_ms=spec.clock_period_ms,
-            seed=pipeline.scale.seed,
-        )
+        vos_model, vos_report, _ = session.vos(name, max_accuracy_loss=max_accuracy_loss)
         if vos_model is not None and vos_report is not None:
             add_row(
                 "tcad23", vos_model.accuracy(x_test, y_test), vos_report.area_cm2, vos_report.power_mw
             )
 
         # DATE'21 stochastic computing.
-        stochastic = StochasticMLP(
-            model=baseline.float_model, config=StochasticConfig(seed=pipeline.scale.seed)
-        )
-        sc_report = stochastic.synthesize()
-        sc_accuracy = stochastic.accuracy(result.dataset.test.features, y_test)
+        sc_accuracy, sc_report = session.stochastic(name)
         add_row("date21", sc_accuracy, sc_report.area_cm2, sc_report.power_mw)
     return rows
 
 
+def run_fig4(
+    pipeline: Union[DatasetPipeline, ExperimentScale, str] = "ci",
+    max_accuracy_loss: float = ACCURACY_LOSS_BUDGET,
+) -> List[Dict]:
+    """Regenerate the Fig. 4 comparison (deprecated shim; use the session API)."""
+    from repro.experiments.session import ExperimentSession
+
+    session = ExperimentSession.coerce(pipeline)
+    if max_accuracy_loss == ACCURACY_LOSS_BUDGET:
+        return [dict(row) for row in session.artifact("fig4").rows]
+    return build_fig4(session, max_accuracy_loss=max_accuracy_loss)
+
+
 def format_fig4(rows: List[Dict]) -> str:
     """Render the Fig. 4 data as a text table."""
-    headers = ["MLP", "Method", "Acc", "Norm. Area", "Norm. Power", "Area Red.", "Power Red."]
-    table_rows = [
-        [
-            row["dataset"],
-            row["method"],
-            row["accuracy"],
-            row["norm_area"],
-            row["norm_power"],
-            row["area_reduction"],
-            row["power_reduction"],
-        ]
-        for row in rows
-    ]
-    return format_table(headers, table_rows)
+    return format_rows(DISPLAY, rows)

@@ -6,6 +6,9 @@ than the baseline and can absorb the voltage-scaling slowdown — and then
 classifies every circuit by the smallest printed power source able to
 drive it (energy harvester / Blue Spark 5 mW / Zinergy 15 mW / Molex
 30 mW / none) and by whether its area is sustainable.
+
+The builder reads the session's shared ``ga_front``/``tc23`` stages
+(also consumed by Table II and Fig. 4).
 """
 
 from __future__ import annotations
@@ -13,47 +16,63 @@ from __future__ import annotations
 from typing import Dict, List, Union
 
 from repro.evaluation.feasibility import assess_feasibility
-from repro.evaluation.report import format_table
+from repro.evaluation.pareto_analysis import select_design
+from repro.evaluation.report import format_rows
 from repro.experiments.config import ExperimentScale
 from repro.experiments.pipeline import DatasetPipeline
 from repro.experiments.table2 import ACCURACY_LOSS_BUDGET
 from repro.hardware.egfet import MIN_VOLTAGE
 
-__all__ = ["run_fig5", "format_fig5"]
+__all__ = ["DISPLAY", "build_fig5", "run_fig5", "format_fig5"]
+
+#: (header, row key) pairs of the printed table.
+DISPLAY = (
+    ("MLP", "dataset"),
+    ("Design", "design"),
+    ("V", "voltage"),
+    ("Area(cm2)", "area_cm2"),
+    ("Power(mW)", "power_mw"),
+    ("Zone", "zone"),
+)
 
 
-def run_fig5(
-    pipeline: Union[DatasetPipeline, ExperimentScale, str] = "ci",
+def build_fig5(
+    session,
     max_accuracy_loss: float = ACCURACY_LOSS_BUDGET,
     approximate_voltage: float = MIN_VOLTAGE,
 ) -> List[Dict]:
-    """Regenerate the Fig. 5 feasibility study.
+    """Fig. 5 rows: one per (dataset, design) with the assigned zone.
 
-    Returns one row per (dataset, design) with the assigned zone.  The
-    baseline and the TC'23 design are assessed at the nominal 1 V (they
-    cannot tolerate voltage scaling without missing their timing), our
-    design additionally at ``approximate_voltage``.
+    The baseline and the TC'23 design are assessed at the nominal 1 V
+    (they cannot tolerate voltage scaling without missing their timing),
+    our design additionally at ``approximate_voltage``.
     """
-    if not isinstance(pipeline, DatasetPipeline):
-        pipeline = DatasetPipeline(pipeline)
     rows: List[Dict] = []
-    for name in pipeline.scale.datasets:
-        result = pipeline.approximate(name, max_accuracy_loss=max_accuracy_loss)
+    for name in session.scale.datasets:
+        result = session.front(name, max_accuracy_loss=max_accuracy_loss)
         spec = result.spec
         baseline = result.baseline
 
         entries = []
         entries.append(("baseline_micro20", baseline.report, 1.0))
 
-        # Sweep shared with Fig. 4 through the pipeline's memo.
-        _, tc_report, _ = pipeline.tc23(name, max_accuracy_loss=max_accuracy_loss)
+        # Stage shared with Fig. 4 through the session's memo.
+        _, tc_report, _ = session.tc23(name, max_accuracy_loss=max_accuracy_loss)
         if tc_report is not None:
             entries.append(("tc23", tc_report, 1.0))
 
+        # Operating point re-selected from the memoized front at this
+        # call's accuracy-loss budget (matching Table II / Fig. 4).
         approx = result.approximate
-        assert approx is not None and approx.selected is not None
-        entries.append(("ours", approx.selected.report, 1.0))
-        entries.append(("ours_0v6", approx.selected.report, approximate_voltage))
+        assert approx is not None
+        selected = select_design(
+            approx.designs,
+            baseline_accuracy=baseline.test_accuracy,
+            max_accuracy_loss=max_accuracy_loss,
+        )
+        assert selected is not None
+        entries.append(("ours", selected.report, 1.0))
+        entries.append(("ours_0v6", selected.report, approximate_voltage))
 
         for design_name, report, voltage in entries:
             feasibility = assess_feasibility(report, design_name=design_name, voltage=voltage)
@@ -72,18 +91,24 @@ def run_fig5(
     return rows
 
 
+def run_fig5(
+    pipeline: Union[DatasetPipeline, ExperimentScale, str] = "ci",
+    max_accuracy_loss: float = ACCURACY_LOSS_BUDGET,
+    approximate_voltage: float = MIN_VOLTAGE,
+) -> List[Dict]:
+    """Regenerate the Fig. 5 feasibility study (deprecated shim)."""
+    from repro.experiments.session import ExperimentSession
+
+    session = ExperimentSession.coerce(pipeline)
+    if max_accuracy_loss == ACCURACY_LOSS_BUDGET and approximate_voltage == MIN_VOLTAGE:
+        return [dict(row) for row in session.artifact("fig5").rows]
+    return build_fig5(
+        session,
+        max_accuracy_loss=max_accuracy_loss,
+        approximate_voltage=approximate_voltage,
+    )
+
+
 def format_fig5(rows: List[Dict]) -> str:
     """Render the Fig. 5 data as a text table."""
-    headers = ["MLP", "Design", "V", "Area(cm2)", "Power(mW)", "Zone"]
-    table_rows = [
-        [
-            row["dataset"],
-            row["design"],
-            row["voltage"],
-            row["area_cm2"],
-            row["power_mw"],
-            row["zone"],
-        ]
-        for row in rows
-    ]
-    return format_table(headers, table_rows)
+    return format_rows(DISPLAY, rows)

@@ -24,7 +24,7 @@ import numpy as np
 from repro.baselines.approx_tc23 import Tc23ApproximateMLP, explore_tc23
 from repro.baselines.exact_bespoke import BespokeMLP, train_exact_baseline
 from repro.baselines.gradient import FloatMLP, GradientTrainer
-from repro.core.cache import EvaluationCache
+from repro.core.cache import EvaluationCache, SnapshotPolicy
 from repro.core.trainer import GAConfig, GAResult, GATrainer
 from repro.datasets.dataset import Dataset
 from repro.datasets.registry import DatasetSpec, get_spec, load_dataset
@@ -169,6 +169,37 @@ class DatasetPipeline:
             return None
         return self.cache_dir / f"{name}.cache.pkl"
 
+    @property
+    def snapshot_policy(self) -> Optional[SnapshotPolicy]:
+        """Compaction policy applied whenever a snapshot is saved."""
+        scale = self.scale
+        if scale.cache_max_age_days is None and scale.cache_max_snapshot_bytes is None:
+            return None
+        return SnapshotPolicy(
+            max_age_seconds=(
+                None
+                if scale.cache_max_age_days is None
+                else scale.cache_max_age_days * 86400.0
+            ),
+            max_total_bytes=scale.cache_max_snapshot_bytes,
+        )
+
+    def persist_cache(self, spec_name: str, cache: Optional[EvaluationCache]) -> int:
+        """Save (compacted) a dataset's evaluation cache to its snapshot.
+
+        Later pipeline stages that add entries to an already persisted
+        cache (e.g. the session's hardware-unaware Table III GA) call
+        this to fold their work into the same per-dataset snapshot.
+        Returns the number of entries written (0 without a cache dir).
+        """
+        snapshot = self._snapshot_path(spec_name)
+        if snapshot is None or cache is None:
+            return 0
+        saved = cache.save(snapshot, policy=self.snapshot_policy)
+        io = self._cache_io.setdefault(spec_name, {"loaded": 0, "saved": 0})
+        io["saved"] = saved
+        return saved
+
     def cache_summary(self) -> Dict[str, Dict[str, float]]:
         """Per-dataset fitness-cache hit rates and disk-snapshot traffic.
 
@@ -295,8 +326,8 @@ class DatasetPipeline:
                 cache=cache,
             )
         if snapshot is not None:
-            saved = cache.save(snapshot)
-            self._cache_io[spec.name] = {"loaded": loaded, "saved": saved}
+            self._cache_io[spec.name] = {"loaded": loaded, "saved": 0}
+            self.persist_cache(spec.name, cache)
         return ApproximateResult(
             ga_result=ga_result,
             designs=designs,

@@ -1,28 +1,42 @@
-"""Command-line entry point that regenerates the paper's tables and figures.
+"""Command-line client of the :class:`~repro.experiments.session.ExperimentSession`.
 
 Usage::
 
     python -m repro.experiments.runner --experiment table2 --scale ci
     python -m repro.experiments.runner --experiment all --scale smoke
+    python -m repro.experiments.runner --experiment all --scale smoke --export-dir out/
     python -m repro.experiments.runner --experiment table2 --cache-dir .repro-cache
 
 Every experiment prints a plain-text table mirroring the corresponding
 artifact of the paper (Table I/II/III, Fig. 4/5) plus the ablations.
+The heavy per-dataset stages (gradient baseline, hardware-aware GA
+front, TC'23 sweep) are session stages shared by all experiments, so
+``--experiment all`` trains each of them exactly once per dataset.
+
+``--export-dir DIR`` additionally writes every artifact as machine-
+readable ``<experiment>.json`` + ``<experiment>.csv`` (see
+:mod:`repro.evaluation.artifacts`; the JSON round-trips bit-identically
+through ``Artifact.from_json``).
 
 ``--cache-dir DIR`` makes the evaluation cache persistent: each
 dataset's fitness/accuracy/hardware-report entries are loaded from
-``DIR`` before the genetic stage and saved back afterwards, so a second
-invocation of the same experiment at the same scale is served almost
-entirely from cache (a per-dataset ``[cache]`` summary line reports the
-hit rate and the snapshot traffic).  Snapshots are versioned and keys
-are namespaced by dataset split and constraints, so one directory can
-safely be shared between scales and experiments.
+``DIR`` before the genetic stage and saved back afterwards (compacted
+by the scale's snapshot policy), so a second invocation of the same
+experiment at the same scale is served almost entirely from cache (a
+per-dataset ``[cache]`` summary line reports the hit rate and the
+snapshot traffic).  Snapshots are versioned and keys are namespaced by
+dataset split and constraints, so one directory can safely be shared
+between scales and experiments.
+
+``--dataset-workers N`` warms the per-dataset heavy stages in ``N``
+threads before the experiments read them (datasets are independent).
 
 ``--verify-rtl`` differentially verifies every synthesized front member
 after the hardware-analysis stage — Python model vs. gate-level netlist
 vs. RTL testbench golden vectors, batched over ``--verify-vectors``
-stimulus vectors — and prints a per-dataset ``[verify]`` summary line
-(see ``docs/verification.md``).
+stimulus vectors, sharing one compiled netlist schedule between
+parameter-identical neurons across the front — and prints a per-dataset
+``[verify]`` summary line (see ``docs/verification.md``).
 """
 
 from __future__ import annotations
@@ -30,7 +44,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from repro.experiments.ablation import (
     format_ablation,
@@ -40,14 +54,16 @@ from repro.experiments.ablation import (
 from repro.experiments.config import SCALES
 from repro.experiments.fig4 import format_fig4, run_fig4
 from repro.experiments.fig5 import format_fig5, run_fig5
-from repro.experiments.pipeline import DatasetPipeline
+from repro.experiments.session import EXPERIMENT_ORDER, ExperimentSession
 from repro.experiments.table1 import format_table1, run_table1
 from repro.experiments.table2 import format_table2, run_table2
 from repro.experiments.table3 import format_table3, run_table3
 
 __all__ = ["main", "EXPERIMENTS"]
 
-#: Experiment name -> (runner, formatter).
+#: Experiment name -> (runner, formatter).  Retained for backwards
+#: compatibility; the CLI itself drives the session API, which returns
+#: typed :class:`~repro.evaluation.artifacts.Artifact` objects instead.
 EXPERIMENTS: Dict[str, tuple] = {
     "table1": (run_table1, format_table1),
     "table2": (run_table2, format_table2),
@@ -81,6 +97,23 @@ def main(argv: List[str] | None = None) -> int:
         help="GA fitness-evaluation process-pool size (overrides the scale; 0 = in-process)",
     )
     parser.add_argument(
+        "--dataset-workers",
+        type=int,
+        default=None,
+        help=(
+            "threads warming the per-dataset heavy stages (gradient baseline "
+            "+ GA front) in parallel before the experiments read them"
+        ),
+    )
+    parser.add_argument(
+        "--export-dir",
+        default=None,
+        help=(
+            "directory for machine-readable exports: every experiment is "
+            "written as <experiment>.json + <experiment>.csv"
+        ),
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help=(
@@ -110,6 +143,10 @@ def main(argv: List[str] | None = None) -> int:
         if args.workers < 0:
             parser.error("--workers must be non-negative")
         scale = dataclasses.replace(scale, ga_workers=args.workers)
+    if args.dataset_workers is not None:
+        if args.dataset_workers < 0:
+            parser.error("--dataset-workers must be non-negative")
+        scale = dataclasses.replace(scale, dataset_workers=args.dataset_workers)
     if args.cache_dir is not None:
         scale = dataclasses.replace(scale, cache_dir=args.cache_dir)
     if args.verify_rtl:
@@ -122,27 +159,31 @@ def main(argv: List[str] | None = None) -> int:
         if args.verify_vectors <= 0:
             parser.error("--verify-vectors must be positive")
         scale = dataclasses.replace(scale, verify_vectors=args.verify_vectors)
-    pipeline = DatasetPipeline(scale)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    session = ExperimentSession(scale)
+    names = list(EXPERIMENT_ORDER) if args.experiment == "all" else [args.experiment]
+    artifacts = session.run(names, export_dir=args.export_dir)
     for name in names:
-        runner, formatter = EXPERIMENTS[name]
         print(f"\n=== {name} (scale={args.scale}) ===")
-        rows = runner(pipeline)
-        print(formatter(rows))
-    if pipeline.cache_dir is not None:
-        for dataset, stats in sorted(pipeline.cache_summary().items()):
+        print(artifacts[name].format())
+    if args.export_dir is not None:
+        print(f"\n[export] wrote {len(artifacts)} experiment(s) to {args.export_dir} (.json + .csv)")
+    if session.pipeline.cache_dir is not None:
+        for dataset, stats in sorted(session.cache_summary().items()):
             print(
                 f"[cache] {dataset}: fitness {stats['cache_hits']}/"
                 f"{stats['evaluations']} hits ({100.0 * stats['hit_rate']:.1f}%), "
                 f"snapshot loaded {stats['loaded']} / saved {stats['saved']} entries"
             )
     if scale.verify_rtl:
-        for dataset, verification in sorted(pipeline.verification_summary().items()):
+        for dataset, verification in sorted(session.verification_summary().items()):
             status = "OK" if verification.passed else "FAILED"
             print(
                 f"[verify] {dataset}: {verification.num_designs} designs x "
                 f"{verification.num_vectors} vectors "
-                f"({verification.num_neuron_checks} neuron netlists) -- "
+                f"({verification.num_neuron_checks} neuron netlists, "
+                f"{verification.plans_compiled} compiled / "
+                f"{verification.plan_reuses} plan reuses) -- "
                 f"netlist {verification.netlist_mismatches} / "
                 f"RTL {verification.rtl_mismatches} / "
                 f"model {verification.model_mismatches} / "

@@ -4,30 +4,42 @@ For every dataset the experiment reports the MLP topology, parameter
 count, test accuracy and synthesized area/power of the exact bespoke
 design (8-bit fixed-point weights, 4-bit inputs), alongside the values
 the paper reports for reference.
+
+The row builder (:func:`build_table1`) reads the session's shared
+``gradient_baseline`` stage; :func:`run_table1` / :func:`format_table1`
+remain as deprecation shims over
+:class:`~repro.experiments.session.ExperimentSession`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Union
 
-from repro.evaluation.report import format_table
+from repro.evaluation.report import format_rows
 from repro.experiments.config import ExperimentScale
 from repro.experiments.pipeline import DatasetPipeline
 
-__all__ = ["run_table1", "format_table1"]
+__all__ = ["DISPLAY", "build_table1", "run_table1", "format_table1"]
+
+#: (header, row key) pairs of the printed table.
+DISPLAY = (
+    ("MLP", "dataset"),
+    ("Topology", "topology"),
+    ("Params", "parameters"),
+    ("Acc", "accuracy"),
+    ("Area(cm2)", "area_cm2"),
+    ("Power(mW)", "power_mw"),
+    ("Paper Acc", "paper_accuracy"),
+    ("Paper Area", "paper_area_cm2"),
+    ("Paper Power", "paper_power_mw"),
+)
 
 
-def run_table1(
-    pipeline: Union[DatasetPipeline, ExperimentScale, str] = "ci",
-) -> List[Dict]:
-    """Regenerate Table I.
-
-    Returns one row per dataset with measured and paper-reported values.
-    """
-    if not isinstance(pipeline, DatasetPipeline):
-        pipeline = DatasetPipeline(pipeline)
+def build_table1(session) -> List[Dict]:
+    """Table I rows (one per dataset) from the session's baseline stage."""
     rows: List[Dict] = []
-    for result in pipeline.results(approximate=False):
+    for name in session.scale.datasets:
+        result = session.baseline(name)
         spec = result.spec
         baseline = result.baseline
         rows.append(
@@ -46,31 +58,19 @@ def run_table1(
     return rows
 
 
+def run_table1(
+    pipeline: Union[DatasetPipeline, ExperimentScale, str] = "ci",
+) -> List[Dict]:
+    """Regenerate Table I (deprecated shim; use the session API).
+
+    Returns one row per dataset with measured and paper-reported values.
+    """
+    from repro.experiments.session import ExperimentSession
+
+    session = ExperimentSession.coerce(pipeline)
+    return [dict(row) for row in session.artifact("table1").rows]
+
+
 def format_table1(rows: List[Dict]) -> str:
     """Render Table I rows as a text table."""
-    headers = [
-        "MLP",
-        "Topology",
-        "Params",
-        "Acc",
-        "Area(cm2)",
-        "Power(mW)",
-        "Paper Acc",
-        "Paper Area",
-        "Paper Power",
-    ]
-    table_rows = [
-        [
-            row["dataset"],
-            row["topology"],
-            row["parameters"],
-            row["accuracy"],
-            row["area_cm2"],
-            row["power_mw"],
-            row["paper_accuracy"],
-            row["paper_area_cm2"],
-            row["paper_power_mw"],
-        ]
-        for row in rows
-    ]
-    return format_table(headers, table_rows)
+    return format_rows(DISPLAY, rows)

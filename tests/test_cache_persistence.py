@@ -14,7 +14,7 @@ import pickle
 import numpy as np
 import pytest
 
-from repro.core.cache import CACHE_FORMAT_VERSION, EvaluationCache
+from repro.core.cache import CACHE_FORMAT_VERSION, EvaluationCache, SnapshotPolicy
 from repro.experiments.config import ExperimentScale
 from repro.experiments.pipeline import DatasetPipeline
 
@@ -80,6 +80,117 @@ class TestSnapshotRoundTrip:
         restored = EvaluationCache()
         restored.load(path)
         assert restored.fitness.get("k") == "new"
+
+
+class TestSnapshotCompaction:
+    """The cache-eviction policy for long-lived ``--cache-dir`` directories."""
+
+    def _entry_count(self, path):
+        probe = EvaluationCache()
+        return probe.load(path)
+
+    def test_bloated_snapshot_shrinks_to_section_bounds(self, tmp_path):
+        """A snapshot accumulated by a large cache shrinks back to the
+        section bounds of the cache that saves it next."""
+        big = EvaluationCache()
+        for index in range(500):
+            big.fitness.put(("ctx", index), float(index))
+        path = tmp_path / "snap.pkl"
+        assert big.save(path) == 500
+
+        small = EvaluationCache(max_fitness_entries=50)
+        assert small.load(path) == 500  # read fully, bounded on put
+        assert len(small.fitness) == 50
+        assert small.save(path) == 50
+        assert self._entry_count(path) == 50
+
+    def test_policy_entry_bound_compacts_on_save(self, tmp_path):
+        cache = EvaluationCache()
+        for index in range(200):
+            cache.fitness.put(("ctx", index), float(index))
+        cache.fitness.get(("ctx", 0))  # refresh: 0 must survive
+        path = tmp_path / "snap.pkl"
+        policy = SnapshotPolicy(max_entries_per_section=10)
+        assert cache.save(path, policy=policy) == 10
+        restored = EvaluationCache()
+        restored.load(path)
+        # The most recently used entries survive, including the refresh.
+        assert ("ctx", 0) in restored.fitness
+        assert ("ctx", 199) in restored.fitness
+        assert ("ctx", 5) not in restored.fitness
+
+    def test_policy_age_bound_drops_stale_entries(self, tmp_path):
+        cache = EvaluationCache()
+        cache.fitness.put("fresh", 1.0)
+        cache.fitness.put("stale", 2.0)
+        now = cache.fitness.last_used("fresh")
+        cache.fitness._stamps["stale"] = now - 1000.0
+        path = tmp_path / "snap.pkl"
+        policy = SnapshotPolicy(max_age_seconds=500.0)
+        assert cache.save(path, policy=policy, now=now) == 1
+        restored = EvaluationCache()
+        restored.load(path)
+        assert restored.fitness.get("fresh") == 1.0
+        assert "stale" not in restored.fitness
+
+    def test_stamps_survive_the_snapshot_round_trip(self, tmp_path):
+        """Aging keeps working across restarts: the persisted last-used
+        time is restored on load, not replaced by load time."""
+        cache = EvaluationCache()
+        cache.fitness.put("old", 1.0)
+        old_stamp = cache.fitness.last_used("old") - 10_000.0
+        cache.fitness._stamps["old"] = old_stamp
+        path = tmp_path / "snap.pkl"
+        cache.save(path)
+
+        restored = EvaluationCache()
+        restored.load(path)
+        assert restored.fitness.last_used("old") == old_stamp
+        # A second save with an age policy can therefore still drop it.
+        assert restored.save(path, policy=SnapshotPolicy(max_age_seconds=500.0)) == 0
+
+    def test_policy_byte_bound_shrinks_the_file(self, tmp_path):
+        cache = EvaluationCache()
+        for index in range(300):
+            cache.fitness.put(("ctx", "x" * 50, index), float(index))
+        path = tmp_path / "snap.pkl"
+        cache.save(path)
+        unbounded_size = path.stat().st_size
+        bound = unbounded_size // 4
+        written = cache.save(path, policy=SnapshotPolicy(max_total_bytes=bound))
+        assert path.stat().st_size <= bound
+        assert 0 < written < 300
+        # The survivors are the most recently used tail.
+        restored = EvaluationCache()
+        restored.load(path)
+        assert ("ctx", "x" * 50, 299) in restored.fitness
+
+    def test_policy_rejects_non_positive_bounds(self):
+        with pytest.raises(ValueError):
+            SnapshotPolicy(max_age_seconds=0)
+        with pytest.raises(ValueError):
+            SnapshotPolicy(max_entries_per_section=-1)
+        with pytest.raises(ValueError):
+            SnapshotPolicy(max_total_bytes=0)
+
+    def test_pipeline_scale_policy_reaches_save(self, tmp_path):
+        """The scale's compaction knobs become the pipeline's policy."""
+        scale = ExperimentScale(
+            name="tiny-policy",
+            datasets=("breast_cancer",),
+            cache_dir=str(tmp_path),
+            cache_max_age_days=7.0,
+            cache_max_snapshot_bytes=123_456,
+        )
+        pipeline = DatasetPipeline(scale)
+        policy = pipeline.snapshot_policy
+        assert policy == SnapshotPolicy(
+            max_age_seconds=7.0 * 86400.0, max_total_bytes=123_456
+        )
+        diskless = DatasetPipeline(
+            ExperimentScale(name="no-policy", cache_max_age_days=None)
+        )
+        assert diskless.snapshot_policy is None
 
 
 class TestCorruptionTolerance:

@@ -44,6 +44,14 @@ def _neuron_buses(neuron, vectors):
     return {f"x{i}": vectors[:, i] for i in range(neuron.fan_in)}
 
 
+#: Placeholder result for runner tests that stub out the session.
+from repro.evaluation.artifacts import Artifact as _Artifact
+
+_EMPTY_ARTIFACT = _Artifact.build(
+    "stub", [], scale="smoke", seed=0, datasets=(), display=()
+)
+
+
 @pytest.fixture(scope="module")
 def tiny_ga_result():
     from repro.core.trainer import GAConfig, GATrainer
@@ -429,6 +437,62 @@ class TestVerifyFront:
         assert empty.passed
         assert empty.num_vectors == 0
 
+    def test_front_shares_compiled_plans_across_designs(self, tiny_ga_result):
+        """One compiled netlist schedule serves every parameter-identical
+        neuron across the whole front."""
+        verification = verify_front(tiny_ga_result, num_vectors=8, seed=3)
+        assert (
+            verification.plans_compiled + verification.plan_reuses
+            == verification.num_neuron_checks
+        )
+        assert 0 < verification.plans_compiled <= verification.num_neuron_checks
+
+    def test_plan_sharing_is_result_identical(self, tiny_ga_result):
+        """Shared plans change nothing: per-design verify_design without a
+        plan cache produces the same results."""
+        from repro.evaluation.verification import _draw_vectors
+
+        config = tiny_ga_result.layout.config
+        vectors = _draw_vectors(
+            tiny_ga_result.layout.topology.num_inputs,
+            config.max_input_value,
+            8,
+            seed=3,
+        )
+        shared = verify_front(tiny_ga_result, vectors=vectors)
+        solo = [
+            verify_design(tiny_ga_result.decode(point), vectors)
+            for point in tiny_ga_result.estimated_front
+        ]
+        assert shared.results == solo
+
+    def test_plan_cache_reuses_identical_neurons(self, make_neuron, rng):
+        from repro.evaluation.verification import NetlistPlanCache
+
+        neuron_a = make_neuron(rng)
+        neuron_b = ApproximateNeuron(
+            masks=neuron_a.masks.copy(),
+            signs=neuron_a.signs.copy(),
+            exponents=neuron_a.exponents.copy(),
+            bias=neuron_a.bias,
+            input_bits=neuron_a.input_bits,
+        )
+        cache = NetlistPlanCache()
+        first = cache.netlist(neuron_a)
+        second = cache.netlist(neuron_b)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1 and len(cache) == 1
+        # A different bias is a different netlist.
+        different = ApproximateNeuron(
+            masks=neuron_a.masks.copy(),
+            signs=neuron_a.signs.copy(),
+            exponents=neuron_a.exponents.copy(),
+            bias=neuron_a.bias + 1,
+            input_bits=neuron_a.input_bits,
+        )
+        assert cache.netlist(different) is not first
+        assert len(cache) == 2
+
     def test_verification_survives_snapshot_roundtrip(self, tiny_ga_result, tmp_path):
         """DesignVerification entries are on the snapshot allowlist."""
         cache = EvaluationCache()
@@ -482,11 +546,12 @@ class TestPipelineVerifyRtl:
 
         seen = {}
 
-        def stub_run(pipeline):
-            seen["scale"] = pipeline.scale
-            return []
+        class StubSession(runner.ExperimentSession):
+            def run(self, experiments=None, export_dir=None, dataset_workers=None):
+                seen["scale"] = self.scale
+                return {name: _EMPTY_ARTIFACT for name in experiments}
 
-        monkeypatch.setitem(runner.EXPERIMENTS, "table1", (stub_run, lambda rows: "ok"))
+        monkeypatch.setattr(runner, "ExperimentSession", StubSession)
         assert (
             runner.main(
                 ["--experiment", "table1", "--scale", "smoke",
