@@ -22,11 +22,15 @@ unavailable and the paper trains with NSGA-II.
 * :mod:`repro.core.pareto` — Pareto-front utilities and hypervolume.
 * :mod:`repro.core.trainer` — the :class:`GATrainer` orchestrating the
   whole flow and producing the estimated area/accuracy Pareto front.
+* :mod:`repro.core.islands` — the island-model parallel engine: sharded
+  sub-populations in worker processes, ring migration, merged-front
+  reduction and cross-process cache pooling.
 """
 
-from repro.core.cache import EvaluationCache, LRUCache, SnapshotPolicy
+from repro.core.cache import CachePool, EvaluationCache, LRUCache, SnapshotPolicy
 from repro.core.chromosome import ChromosomeLayout
 from repro.core.fitness import FitnessEvaluator, FitnessValues
+from repro.core.islands import IslandConfig, IslandGAResult, IslandGATrainer, make_trainer
 from repro.core.nsga2 import crowding_distance, fast_non_dominated_sort
 from repro.core.operators import GeneticOperators
 from repro.core.population import PopulationInitializer
@@ -34,12 +38,17 @@ from repro.core.pareto import ParetoPoint, hypervolume, pareto_front
 from repro.core.trainer import GAConfig, GAResult, GATrainer
 
 __all__ = [
+    "CachePool",
     "EvaluationCache",
     "LRUCache",
     "SnapshotPolicy",
     "ChromosomeLayout",
     "FitnessEvaluator",
     "FitnessValues",
+    "IslandConfig",
+    "IslandGAResult",
+    "IslandGATrainer",
+    "make_trainer",
     "crowding_distance",
     "fast_non_dominated_sort",
     "GeneticOperators",

@@ -301,6 +301,10 @@ class FitnessEvaluator:
         ]
 
     def _compute_on_pool(self, chromosomes: List[np.ndarray]) -> List[FitnessValues]:
+        # Decoded models stay inside the worker processes (only fitness
+        # tuples travel back), so this path cannot feed ``cache.models``;
+        # the trainer decodes-and-caches the final front's members once
+        # in the parent instead (``GATrainer._populate_model_cache``).
         pool = self._ensure_pool()
         chunk = max(1, -(-len(chromosomes) // self.n_workers))
         chunks = [

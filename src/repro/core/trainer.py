@@ -64,6 +64,15 @@ class GAConfig:
     #: to the default (both consume the same random draws); retained for
     #: the equivalence tests and for bisecting discrepancies.
     slow_operators: bool = False
+    #: Island-model parameters, consumed by
+    #: :class:`~repro.core.islands.IslandGATrainer`: the population is
+    #: partitioned into ``n_islands`` sub-populations evolving in their
+    #: own worker processes, exchanging ``migration_size`` elites around
+    #: a ring every ``migration_interval`` generations.  ``n_islands=1``
+    #: is the plain single-process :class:`GATrainer` (bit-identical).
+    n_islands: int = 1
+    migration_interval: int = 10
+    migration_size: int = 2
 
     def __post_init__(self) -> None:
         if self.population_size < 4:
@@ -72,6 +81,24 @@ class GAConfig:
             raise ValueError("generations must be at least 1")
         if self.n_workers < 0:
             raise ValueError("n_workers must be non-negative")
+        if self.n_islands < 1:
+            raise ValueError("n_islands must be at least 1")
+        if self.migration_interval < 1:
+            raise ValueError("migration_interval must be at least 1")
+        if self.migration_size < 0:
+            raise ValueError("migration_size must be non-negative")
+        if self.n_islands > 1:
+            smallest = self.population_size // self.n_islands
+            if smallest < 4:
+                raise ValueError(
+                    f"population_size {self.population_size} is too small for "
+                    f"{self.n_islands} islands (each needs at least 4 members)"
+                )
+            if self.migration_size * 2 > smallest:
+                raise ValueError(
+                    f"migration_size {self.migration_size} must not exceed half "
+                    f"of the smallest island ({smallest} members)"
+                )
 
 
 @dataclass(frozen=True)
@@ -84,6 +111,11 @@ class GenerationStats:
     the evaluator's memo cache, and ``fitness_computations`` how many
     chromosomes were actually decoded and forwarded — the three always
     satisfy ``evaluations == cache_hits + fitness_computations``.
+
+    ``duration_s`` is the wall-clock time of this generation alone
+    (variation + evaluation + environmental selection + stats), which is
+    what makes island-model vs single-process scaling measurable per
+    generation instead of only end to end.
     """
 
     generation: int
@@ -96,6 +128,7 @@ class GenerationStats:
     evaluations: int
     cache_hits: int = 0
     fitness_computations: int = 0
+    duration_s: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -118,6 +151,11 @@ class GAResult:
     def estimated_front(self) -> List[ParetoPoint]:
         """The estimated area/accuracy Pareto front (sorted by area)."""
         return pareto_front(self.pareto_points)
+
+    @property
+    def generation_seconds(self) -> List[float]:
+        """Per-generation wall-clock durations (``GenerationStats.duration_s``)."""
+        return [stats.duration_s for stats in self.history]
 
     def decode(self, point: ParetoPoint) -> ApproximateMLP:
         """Decode a Pareto point's chromosome into an approximate MLP."""
@@ -226,12 +264,19 @@ class GATrainer:
         history: List[GenerationStats] = []
 
         try:
-            return self._run(
+            result = self._run(
                 config, rng, evaluator, initializer, archive, history,
                 seed_model, area_objective, baseline_accuracy, start,
             )
         finally:
             evaluator.close()
+        if cache is not None and config.n_workers > 1:
+            # The pooled fitness path keeps decoded models inside the
+            # worker processes, so `cache.models` would be empty after a
+            # pooled run and every downstream stage would re-decode the
+            # front members.  Decode-and-cache them once here instead.
+            self._populate_model_cache(cache, result.pareto_points)
+        return result
 
     def _run(
         self,
@@ -266,26 +311,26 @@ class GATrainer:
         )
 
         for generation in range(config.generations):
-            objectives, violations = self._objective_matrix(fitnesses, area_objective)
-            ranks, crowding = nsga2_sort_key(objectives, violations)
-            offspring = operators.make_offspring(
-                population,
-                ranks,
-                crowding,
-                config.population_size,
-                rng,
-                slow=config.slow_operators,
+            generation_start = time.perf_counter()
+            population, fitnesses = self._generation_step(
+                rng=rng,
+                evaluator=evaluator,
+                operators=operators,
+                archive=archive,
+                population=population,
+                fitnesses=fitnesses,
+                target_size=config.population_size,
+                area_objective=area_objective,
+                slow_operators=config.slow_operators,
             )
-            offspring_fitnesses = evaluator.evaluate_population(offspring)
-            self._update_archive(archive, offspring, offspring_fitnesses)
-
-            population, fitnesses = self._environmental_selection(
-                np.concatenate([population, offspring]),
-                fitnesses + offspring_fitnesses,
-                config.population_size,
-                area_objective,
+            stats = self._stats(
+                generation,
+                fitnesses,
+                archive,
+                evaluator,
+                hv_reference,
+                duration_s=time.perf_counter() - generation_start,
             )
-            stats = self._stats(generation, fitnesses, archive, evaluator, hv_reference)
             history.append(stats)
             if _LOGGER.isEnabledFor(logging.DEBUG):
                 previous = history[-2] if len(history) > 1 else None
@@ -293,12 +338,13 @@ class GATrainer:
                 hits = stats.cache_hits - (previous.cache_hits if previous else 0)
                 _LOGGER.debug(
                     "generation %d: %d unique fitness lookups, %d cache hits "
-                    "(%.1f%% hit rate), %d computed",
+                    "(%.1f%% hit rate), %d computed, %.3fs",
                     generation,
                     lookups,
                     hits,
                     100.0 * hits / lookups if lookups else 0.0,
                     lookups - hits,
+                    stats.duration_s,
                 )
 
         if len(archive) == 0:
@@ -328,6 +374,63 @@ class GATrainer:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _generation_step(
+        self,
+        *,
+        rng: np.random.Generator,
+        evaluator: FitnessEvaluator,
+        operators: GeneticOperators,
+        archive: ParetoArchive,
+        population: np.ndarray,
+        fitnesses: List[FitnessValues],
+        target_size: int,
+        area_objective: bool,
+        slow_operators: bool = False,
+    ) -> tuple[np.ndarray, List[FitnessValues]]:
+        """One NSGA-II generation: variation → evaluation → selection.
+
+        Shared by the single-process loop and the island workers of
+        :class:`~repro.core.islands.IslandGATrainer` (each island runs
+        this step on its own sub-population), so the two engines cannot
+        drift apart.  ``target_size`` is the (sub-)population size —
+        islands evolve fewer members than ``config.population_size``.
+        """
+        objectives, violations = self._objective_matrix(fitnesses, area_objective)
+        ranks, crowding = nsga2_sort_key(objectives, violations)
+        offspring = operators.make_offspring(
+            population, ranks, crowding, target_size, rng, slow=slow_operators
+        )
+        offspring_fitnesses = evaluator.evaluate_population(offspring)
+        self._update_archive(archive, offspring, offspring_fitnesses)
+        return self._environmental_selection(
+            np.concatenate([population, offspring]),
+            fitnesses + offspring_fitnesses,
+            target_size,
+            area_objective,
+        )
+
+    def _populate_model_cache(
+        self, cache: EvaluationCache, points: Sequence[ParetoPoint]
+    ) -> int:
+        """Decode points' chromosomes into ``cache.models`` (if missing).
+
+        Returns how many models were decoded.  Membership is probed with
+        ``in`` (not ``get``) so the section's hit/miss counters — which
+        the zero-redundant-work tests assert on — are not disturbed.
+        """
+        layout_key = EvaluationCache.layout_key(self.layout)
+        decoded = 0
+        for point in points:
+            if point.payload is None:
+                continue
+            chromosome = np.asarray(point.payload)
+            key = (layout_key, EvaluationCache.genome_key(chromosome))
+            if key in cache.models:
+                continue
+            cache.models.put(key, self.layout.decode(chromosome))
+            decoded += 1
+        return decoded
+
     @staticmethod
     def _objective_matrix(
         fitnesses: Sequence[FitnessValues], area_objective: bool
@@ -390,6 +493,7 @@ class GATrainer:
         archive: ParetoArchive,
         evaluator: FitnessEvaluator,
         reference: tuple[float, float],
+        duration_s: float = 0.0,
     ) -> GenerationStats:
         errors = np.array([fit.error for fit in fitnesses])
         areas = np.array([fit.area for fit in fitnesses])
@@ -404,4 +508,5 @@ class GATrainer:
             evaluations=evaluator.evaluations,
             cache_hits=evaluator.cache_hits,
             fitness_computations=evaluator.fitness_computations,
+            duration_s=duration_s,
         )

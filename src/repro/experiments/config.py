@@ -32,6 +32,15 @@ class ExperimentScale:
         Budget of the genetic training.
     ga_workers:
         Process-pool size for the fitness evaluation (0 = in-process).
+    ga_islands:
+        Number of islands for the island-model GA engine
+        (:class:`~repro.core.islands.IslandGATrainer`); 1 keeps the
+        single-process :class:`~repro.core.trainer.GATrainer` path.
+        With ``cache_dir`` set, islands additionally pool fitness values
+        through a shared segment directory (``<dataset>.pool``).
+    ga_migration_interval / ga_migration_size:
+        Ring-migration cadence and elite count exchanged between islands
+        (ignored when ``ga_islands`` is 1).
     max_front_designs:
         How many estimated-front members to synthesize in the hardware
         analysis step.
@@ -78,6 +87,9 @@ class ExperimentScale:
     ga_population: int = 60
     ga_generations: int = 40
     ga_workers: int = 0
+    ga_islands: int = 1
+    ga_migration_interval: int = 10
+    ga_migration_size: int = 2
     max_front_designs: Optional[int] = 40
     seed: int = 0
     cache_dir: Optional[str] = None

@@ -25,6 +25,7 @@ from repro.baselines.approx_tc23 import Tc23ApproximateMLP, explore_tc23
 from repro.baselines.exact_bespoke import BespokeMLP, train_exact_baseline
 from repro.baselines.gradient import FloatMLP, GradientTrainer
 from repro.core.cache import EvaluationCache, SnapshotPolicy
+from repro.core.islands import IslandGATrainer, make_trainer
 from repro.core.trainer import GAConfig, GAResult, GATrainer
 from repro.datasets.dataset import Dataset
 from repro.datasets.registry import DatasetSpec, get_spec, load_dataset
@@ -276,8 +277,11 @@ class DatasetPipeline:
             generations=self.scale.ga_generations,
             seed=self.scale.seed,
             n_workers=self.scale.ga_workers,
+            n_islands=self.scale.ga_islands,
+            migration_interval=self.scale.ga_migration_interval,
+            migration_size=self.scale.ga_migration_size,
         )
-        trainer = GATrainer(spec.mlp_topology, ga_config=ga_config)
+        trainer = make_trainer(spec.mlp_topology, ga_config=ga_config)
         # One evaluation cache spans the GA, front-synthesis and
         # reporting stages: genomes the GA decoded and forwarded are
         # never decoded again downstream, and every hardware report is
@@ -288,14 +292,19 @@ class DatasetPipeline:
         cache = EvaluationCache()
         snapshot = self._snapshot_path(spec.name)
         loaded = cache.load(snapshot) if snapshot is not None else 0
-        start = time.perf_counter()
-        ga_result = trainer.train(
-            x_train,
-            y_train,
+        train_kwargs = dict(
             baseline_accuracy=result.baseline.train_accuracy,
             seed_model=result.baseline.float_model,
             cache=cache,
         )
+        if isinstance(trainer, IslandGATrainer) and self.cache_dir is not None:
+            # Island workers pool fitness values through a shared
+            # segment directory next to the snapshot; the coordinator
+            # seeds it from the loaded snapshot and merges it back into
+            # `cache` before the snapshot is saved below.
+            train_kwargs["pool_dir"] = self.cache_dir / f"{spec.name}.pool"
+        start = time.perf_counter()
+        ga_result = trainer.train(x_train, y_train, **train_kwargs)
         elapsed = time.perf_counter() - start
 
         designs = evaluate_front(

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.islands import make_trainer
 from repro.core.trainer import GAConfig, GAResult, GATrainer
 from repro.evaluation.artifacts import Artifact
 from repro.experiments.config import ExperimentScale
@@ -284,8 +285,11 @@ class ExperimentSession:
                 generations=self.scale.ga_generations,
                 seed=self.scale.seed,
                 n_workers=self.scale.ga_workers,
+                n_islands=self.scale.ga_islands,
+                migration_interval=self.scale.ga_migration_interval,
+                migration_size=self.scale.ga_migration_size,
             )
-            trainer = GATrainer(result.spec.mlp_topology, ga_config=config)
+            trainer = make_trainer(result.spec.mlp_topology, ga_config=config)
             ga_result = trainer.train(
                 x_train, y_train, area_objective=False, cache=approx.cache
             )

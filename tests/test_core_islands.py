@@ -1,0 +1,300 @@
+"""Tests of the island-model parallel GA engine (:mod:`repro.core.islands`).
+
+The determinism contract is tested at two levels:
+
+* ``n_islands=1`` must be **bit-identical** to the plain
+  :class:`~repro.core.trainer.GATrainer` (same draws, same front, same
+  history) — the ``slow=``-style oracle of the island engine;
+* for ``n_islands>1``, a fixed seed and island count must give an
+  identical merged front regardless of worker scheduling — asserted by
+  comparing the in-process serial executor (``parallel=False``) against
+  the real process pool, whose completion order the OS controls.
+
+Process-pool cases keep populations tiny (the CI box may have a single
+core); the scaling benchmark lives in ``benchmarks/test_island_ga.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CachePool, EvaluationCache
+from repro.core.islands import (
+    IslandConfig,
+    IslandGAResult,
+    IslandGATrainer,
+    make_trainer,
+)
+from repro.core.trainer import GAConfig, GATrainer
+
+TOPOLOGY = (4, 3, 2)
+
+
+@pytest.fixture(scope="module")
+def tiny_split():
+    rng = np.random.default_rng(11)
+    inputs = rng.integers(0, 16, size=(40, 4)).astype(np.int64)
+    labels = rng.integers(0, 2, size=40).astype(np.int64)
+    return inputs, labels
+
+
+def island_config(**overrides):
+    defaults = dict(
+        population_size=16,
+        generations=4,
+        seed=3,
+        n_islands=2,
+        migration_interval=2,
+        migration_size=2,
+    )
+    defaults.update(overrides)
+    return GAConfig(**defaults)
+
+
+def front_key(result):
+    return [
+        (point.error, point.area, point.accuracy, tuple(np.asarray(point.payload).tolist()))
+        for point in result.pareto_points
+    ]
+
+
+def strip_variable_fields(history):
+    """History with wall-clock and scheduling-dependent counters zeroed.
+
+    ``duration_s`` is wall-clock; ``cache_hits``/``fitness_computations``
+    (and their sum's split) depend on which worker process served which
+    island — both are documented as non-deterministic across executors.
+    """
+    return [
+        dataclasses.replace(stats, duration_s=0.0, cache_hits=0, fitness_computations=0)
+        for stats in history
+    ]
+
+
+class TestIslandConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IslandConfig(n_islands=0)
+        with pytest.raises(ValueError):
+            IslandConfig(migration_interval=0)
+        with pytest.raises(ValueError):
+            IslandConfig(migration_size=-1)
+
+    def test_ga_config_validates_island_partition(self):
+        with pytest.raises(ValueError):
+            # 10 // 3 = 3 members per island: below the NSGA-II minimum.
+            GAConfig(population_size=10, n_islands=3)
+        with pytest.raises(ValueError):
+            # Migration would replace more than half of an island.
+            GAConfig(population_size=16, n_islands=2, migration_size=5)
+
+    def test_population_partition(self):
+        config = IslandConfig(n_islands=3)
+        assert config.island_population_sizes(14) == [5, 5, 4]
+        assert sum(config.island_population_sizes(20)) == 20
+
+    def test_from_ga_config(self):
+        config = IslandConfig.from_ga_config(island_config(n_islands=4, population_size=32))
+        assert config.n_islands == 4
+        assert config.migration_interval == 2
+
+    def test_make_trainer_dispatch(self):
+        assert isinstance(make_trainer(TOPOLOGY, ga_config=island_config()), IslandGATrainer)
+        assert type(make_trainer(TOPOLOGY, ga_config=GAConfig())) is GATrainer
+
+
+class TestSingleIslandOracle:
+    def test_one_island_bit_identical_to_gatrainer(self, tiny_split):
+        inputs, labels = tiny_split
+        config = GAConfig(population_size=16, generations=4, seed=3)
+        base = GATrainer(TOPOLOGY, ga_config=config).train(inputs, labels)
+        islands = IslandGATrainer(TOPOLOGY, ga_config=config, parallel=False).train(
+            inputs, labels
+        )
+        assert isinstance(islands, IslandGAResult)
+        assert islands.n_islands == 1
+        assert islands.migrations == 0
+        assert front_key(islands) == front_key(base)
+        # Same draws → same per-generation trajectory (only wall-clock
+        # may differ; with one island even the counters are identical).
+        assert [dataclasses.replace(s, duration_s=0.0) for s in islands.history] == [
+            dataclasses.replace(s, duration_s=0.0) for s in base.history
+        ]
+        assert islands.evaluations == base.evaluations
+
+
+class TestMultiIslandDeterminism:
+    def test_serial_executor_is_deterministic(self, tiny_split):
+        inputs, labels = tiny_split
+        config = island_config()
+        first = IslandGATrainer(TOPOLOGY, ga_config=config, parallel=False).train(
+            inputs, labels
+        )
+        second = IslandGATrainer(TOPOLOGY, ga_config=config, parallel=False).train(
+            inputs, labels
+        )
+        assert front_key(first) == front_key(second)
+        assert strip_variable_fields(first.history) == strip_variable_fields(second.history)
+
+    def test_process_pool_matches_serial_executor(self, tiny_split):
+        """Worker scheduling must not affect the merged front."""
+        inputs, labels = tiny_split
+        config = island_config()
+        serial = IslandGATrainer(TOPOLOGY, ga_config=config, parallel=False).train(
+            inputs, labels
+        )
+        pooled = IslandGATrainer(TOPOLOGY, ga_config=config, parallel=True).train(
+            inputs, labels
+        )
+        assert front_key(pooled) == front_key(serial)
+        assert len(pooled.island_histories) == 2
+        for island in range(2):
+            assert strip_variable_fields(
+                pooled.island_histories[island]
+            ) == strip_variable_fields(serial.island_histories[island])
+
+    def test_migration_happens_and_result_structure(self, tiny_split):
+        inputs, labels = tiny_split
+        config = island_config(generations=6, migration_interval=2)
+        result = IslandGATrainer(TOPOLOGY, ga_config=config, parallel=False).train(
+            inputs, labels
+        )
+        # 3 epochs of 2 generations; no migration after the final epoch.
+        assert result.migrations == 2
+        assert len(result.history) == 6
+        assert len(result.island_histories) == 2
+        assert all(len(h) == 6 for h in result.island_histories)
+        # Merged counters are the sums of the island counters.
+        last = result.history[-1]
+        assert last.evaluations == sum(
+            h[-1].evaluations for h in result.island_histories
+        )
+        assert result.evaluations == last.evaluations
+
+    def test_generation_durations_are_recorded(self, tiny_split):
+        inputs, labels = tiny_split
+        result = IslandGATrainer(
+            TOPOLOGY, ga_config=island_config(), parallel=False
+        ).train(inputs, labels)
+        assert len(result.generation_seconds) == 4
+        assert all(duration > 0.0 for duration in result.generation_seconds)
+
+
+class TestMigrationMechanics:
+    def test_ring_migration_moves_elites(self):
+        from repro.core.fitness import FitnessValues
+        from repro.core.islands import _IslandState, _migrate
+
+        def values(error, area):
+            return FitnessValues(
+                accuracy=1.0 - error, error=error, area=area, constraint_violation=0.0
+            )
+
+        # Island 0 holds the globally best member (error 0.0), island 1
+        # the worst (error 0.9); after one ring step island 1 must have
+        # imported island 0's elite and island 0 island 1's best.
+        state0 = _IslandState(
+            index=0,
+            target_size=4,
+            rng_state={},
+            population=np.arange(8, dtype=np.int64).reshape(4, 2),
+            fitnesses=[values(0.0, 1.0), values(0.2, 1.0), values(0.3, 1.0), values(0.4, 1.0)],
+        )
+        state1 = _IslandState(
+            index=1,
+            target_size=4,
+            rng_state={},
+            population=np.arange(100, 108, dtype=np.int64).reshape(4, 2),
+            fitnesses=[values(0.5, 1.0), values(0.6, 1.0), values(0.7, 1.0), values(0.9, 1.0)],
+        )
+        _migrate([state0, state1], migration_size=1, area_objective=True)
+        # Island 1 imported island 0's best (error 0.0) over its worst.
+        assert any(fit.error == 0.0 for fit in state1.fitnesses)
+        assert not any(fit.error == 0.9 for fit in state1.fitnesses)
+        assert any((row == [0, 1]).all() for row in state1.population)
+        # Island 0 imported island 1's best (error 0.5) over its worst.
+        assert any(fit.error == 0.5 for fit in state0.fitnesses)
+        assert not any(fit.error == 0.4 for fit in state0.fitnesses)
+
+    def test_zero_migration_size_disables_migration(self, tiny_split):
+        inputs, labels = tiny_split
+        config = island_config(migration_size=0)
+        result = IslandGATrainer(TOPOLOGY, ga_config=config, parallel=False).train(
+            inputs, labels
+        )
+        assert result.migrations == 0
+
+
+class TestCachePooling:
+    def test_warm_pool_recomputes_nothing(self, tiny_split, tmp_path):
+        """Second run against a warm shared pool: zero fitness computations."""
+        inputs, labels = tiny_split
+        config = island_config()
+        pool_dir = tmp_path / "pool"
+
+        cold_cache = EvaluationCache()
+        cold = IslandGATrainer(TOPOLOGY, ga_config=config, parallel=False).train(
+            inputs, labels, cache=cold_cache, pool_dir=pool_dir
+        )
+        assert cold.history[-1].fitness_computations > 0
+        assert list(pool_dir.glob(f"*{CachePool.SEGMENT_SUFFIX}"))
+
+        warm_cache = EvaluationCache()
+        warm = IslandGATrainer(TOPOLOGY, ga_config=config, parallel=False).train(
+            inputs, labels, cache=warm_cache, pool_dir=pool_dir
+        )
+        last = warm.history[-1]
+        assert last.fitness_computations == 0
+        assert last.cache_hits == last.evaluations
+        assert front_key(warm) == front_key(cold)
+
+    def test_warm_pool_recomputes_nothing_across_processes(self, tiny_split, tmp_path):
+        inputs, labels = tiny_split
+        config = island_config()
+        pool_dir = tmp_path / "pool"
+        IslandGATrainer(TOPOLOGY, ga_config=config, parallel=False).train(
+            inputs, labels, cache=EvaluationCache(), pool_dir=pool_dir
+        )
+        warm = IslandGATrainer(TOPOLOGY, ga_config=config, parallel=True).train(
+            inputs, labels, cache=EvaluationCache(), pool_dir=pool_dir
+        )
+        assert warm.history[-1].fitness_computations == 0
+
+    def test_parent_cache_receives_island_work(self, tiny_split, tmp_path):
+        """The coordinator merges pooled fitness values back into `cache`."""
+        inputs, labels = tiny_split
+        cache = EvaluationCache()
+        result = IslandGATrainer(
+            TOPOLOGY, ga_config=island_config(), parallel=False
+        ).train(inputs, labels, cache=cache, pool_dir=tmp_path / "pool")
+        assert len(cache.fitness) >= result.history[-1].fitness_computations
+        # The merged front's decoded models were cached in the parent.
+        with_payload = [p for p in result.pareto_points if p.payload is not None]
+        assert len(cache.models) >= len(with_payload) > 0
+
+    def test_pool_dir_is_optional(self, tiny_split):
+        inputs, labels = tiny_split
+        cache = EvaluationCache()
+        result = IslandGATrainer(
+            TOPOLOGY, ga_config=island_config(), parallel=False
+        ).train(inputs, labels, cache=cache)
+        assert len(result.pareto_points) >= 1
+
+
+class TestPooledModelCacheFix:
+    def test_pooled_fitness_run_populates_model_cache(self, tiny_split):
+        """`n_workers>1` keeps decoded models in the workers; the parent
+        must decode-and-cache the final front once (the satellite fix)."""
+        inputs, labels = tiny_split
+        cache = EvaluationCache()
+        config = GAConfig(population_size=12, generations=2, seed=0, n_workers=2)
+        result = GATrainer(TOPOLOGY, ga_config=config).train(inputs, labels, cache=cache)
+        with_payload = [p for p in result.pareto_points if p.payload is not None]
+        assert len(with_payload) > 0
+        layout_key = EvaluationCache.layout_key(result.layout)
+        for point in with_payload:
+            key = (layout_key, EvaluationCache.genome_key(np.asarray(point.payload)))
+            assert key in cache.models
