@@ -18,7 +18,10 @@ The package is organized bottom-up:
 * :mod:`repro.datasets`   — the five evaluation datasets (offline
   synthetic stand-ins),
 * :mod:`repro.evaluation` — metrics, Pareto/hardware analysis, feasibility,
-* :mod:`repro.experiments`— regeneration of every table and figure.
+* :mod:`repro.experiments`— regeneration of every table and figure,
+* :mod:`repro.serving`    — the query-time half: persistent design store
+  and the async Pareto-front query service (imports **no** search-time
+  module — top-level re-exports here are lazy for exactly that reason).
 
 Quickstart
 ----------
@@ -31,16 +34,37 @@ Quickstart
 >>> front = result.estimated_front  # area/accuracy Pareto front
 """
 
-from repro.approx import ApproxConfig, ApproximateMLP, Topology
-from repro.core import GAConfig, GAResult, GATrainer
-from repro.datasets import load_dataset
-from repro.hardware import (
-    mlp_fa_count,
-    synthesize_approximate_mlp,
-    synthesize_exact_mlp,
-)
+from repro._lazy import lazy_exports
 
 __version__ = "1.0.0"
+
+_EXPORTS = {
+    "ApproxConfig": "repro.approx",
+    "ApproximateMLP": "repro.approx",
+    "Topology": "repro.approx",
+    "GAConfig": "repro.core",
+    "GAResult": "repro.core",
+    "GATrainer": "repro.core",
+    "load_dataset": "repro.datasets",
+    "mlp_fa_count": "repro.hardware",
+    "synthesize_approximate_mlp": "repro.hardware",
+    "synthesize_exact_mlp": "repro.hardware",
+}
+
+_SUBMODULES = (
+    "approx",
+    "baselines",
+    "core",
+    "datasets",
+    "evaluation",
+    "experiments",
+    "hardware",
+    "quant",
+    "rtl",
+    "serving",
+)
+
+__getattr__, __dir__ = lazy_exports(__name__, globals(), _EXPORTS, _SUBMODULES)
 
 __all__ = [
     "ApproxConfig",

@@ -1,0 +1,65 @@
+"""PEP 562 lazy re-export machinery for the package roots.
+
+The package roots historically imported every subsystem eagerly, which
+meant that *any* ``repro.*`` import — even the pure query-time serving
+layer — dragged the trainers, genetic operators and synthesis engines
+into the process.  The serving subsystem (:mod:`repro.serving`) must
+answer Pareto-front queries from a warm :class:`~repro.serving.store.DesignStore`
+without a single search-time module ever loading (asserted by an
+import-graph test), so the roots now resolve their re-exported names
+lazily on first attribute access instead.
+
+``from repro.core import GATrainer`` keeps working exactly as before —
+the import system falls back to the module-level ``__getattr__`` — but
+``import repro.core.cache`` no longer imports the trainer stack as a
+side effect.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+def lazy_exports(
+    module_name: str,
+    module_globals: dict,
+    exports: Dict[str, str],
+    submodules: Optional[Sequence[str]] = None,
+) -> Tuple[Callable[[str], object], Callable[[], List[str]]]:
+    """Build ``(__getattr__, __dir__)`` for a lazily re-exporting package.
+
+    Parameters
+    ----------
+    module_name:
+        The package's ``__name__`` (for error messages).
+    module_globals:
+        The package's ``globals()``; resolved names are cached there so
+        every export is imported at most once.
+    exports:
+        Attribute name -> dotted module that defines it.
+    submodules:
+        Names of child modules to expose as attributes of the package
+        (``repro.core`` after ``import repro`` used to work because the
+        eager root imported it; the lazy root keeps that behaviour).
+    """
+    children = frozenset(submodules or ())
+
+    def __getattr__(name: str) -> object:
+        if name in children:
+            value: object = importlib.import_module(f"{module_name}.{name}")
+        else:
+            try:
+                source = exports[name]
+            except KeyError:
+                raise AttributeError(
+                    f"module {module_name!r} has no attribute {name!r}"
+                ) from None
+            value = getattr(importlib.import_module(source), name)
+        module_globals[name] = value
+        return value
+
+    def __dir__() -> List[str]:
+        return sorted(set(module_globals) | set(exports) | children)
+
+    return __getattr__, __dir__

@@ -27,15 +27,49 @@ unavailable and the paper trains with NSGA-II.
   reduction and cross-process cache pooling.
 """
 
-from repro.core.cache import CachePool, EvaluationCache, LRUCache, SnapshotPolicy
-from repro.core.chromosome import ChromosomeLayout
-from repro.core.fitness import FitnessEvaluator, FitnessValues
-from repro.core.islands import IslandConfig, IslandGAResult, IslandGATrainer, make_trainer
-from repro.core.nsga2 import crowding_distance, fast_non_dominated_sort
-from repro.core.operators import GeneticOperators
-from repro.core.population import PopulationInitializer
-from repro.core.pareto import ParetoPoint, hypervolume, pareto_front
-from repro.core.trainer import GAConfig, GAResult, GATrainer
+# Re-exports are lazy (PEP 562): the serving layer imports the light
+# query-time modules (cache, nsga2, pareto) without the trainer stack
+# loading as a side effect.  ``from repro.core import GATrainer`` still
+# works exactly as before.
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "CachePool": "repro.core.cache",
+    "EvaluationCache": "repro.core.cache",
+    "LRUCache": "repro.core.cache",
+    "SnapshotPolicy": "repro.core.cache",
+    "ChromosomeLayout": "repro.core.chromosome",
+    "FitnessEvaluator": "repro.core.fitness",
+    "FitnessValues": "repro.core.fitness",
+    "IslandConfig": "repro.core.islands",
+    "IslandGAResult": "repro.core.islands",
+    "IslandGATrainer": "repro.core.islands",
+    "make_trainer": "repro.core.islands",
+    "crowding_distance": "repro.core.nsga2",
+    "fast_non_dominated_sort": "repro.core.nsga2",
+    "GeneticOperators": "repro.core.operators",
+    "PopulationInitializer": "repro.core.population",
+    "ParetoPoint": "repro.core.pareto",
+    "hypervolume": "repro.core.pareto",
+    "pareto_front": "repro.core.pareto",
+    "GAConfig": "repro.core.trainer",
+    "GAResult": "repro.core.trainer",
+    "GATrainer": "repro.core.trainer",
+}
+
+_SUBMODULES = (
+    "cache",
+    "chromosome",
+    "fitness",
+    "islands",
+    "nsga2",
+    "operators",
+    "pareto",
+    "population",
+    "trainer",
+)
+
+__getattr__, __dir__ = lazy_exports(__name__, globals(), _EXPORTS, _SUBMODULES)
 
 __all__ = [
     "CachePool",

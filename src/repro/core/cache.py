@@ -85,7 +85,27 @@ __all__ = [
     "SnapshotPolicy",
     "CachePool",
     "CACHE_FORMAT_VERSION",
+    "stable_fingerprint",
 ]
+
+
+def stable_fingerprint(*parts: Union[bytes, str], digest_size: int = 16) -> str:
+    """Machine-stable BLAKE2b hex digest of a sequence of parts.
+
+    The shared identity scheme of the persistence layers: the
+    :class:`~repro.serving.store.DesignStore` keys its records with it,
+    and it is stable across processes, machines and ``PYTHONHASHSEED``
+    (unlike the built-in ``hash``).  Parts are length-prefixed before
+    hashing so that the concatenation is unambiguous
+    (``("ab", "c") != ("a", "bc")``).
+    """
+    digest = hashlib.blake2b(digest_size=digest_size)
+    for part in parts:
+        if isinstance(part, str):
+            part = part.encode("utf-8")
+        digest.update(len(part).to_bytes(8, "little"))
+        digest.update(part)
+    return digest.hexdigest()
 
 _LOGGER = logging.getLogger(__name__)
 

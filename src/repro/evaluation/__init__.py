@@ -1,27 +1,44 @@
 """Evaluation harness: metrics, hardware Pareto analysis, feasibility, reports."""
 
-from repro.evaluation.artifacts import ARTIFACT_SCHEMA_VERSION, Artifact, ArtifactError
-from repro.evaluation.metrics import (
-    accuracy_score,
-    confusion_matrix,
-    error_rate,
-    per_class_accuracy,
+# Re-exports are lazy (PEP 562): the serving layer reuses the artifact
+# and report helpers without the model-dependent analysis/verification
+# modules loading as a side effect.
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "ARTIFACT_SCHEMA_VERSION": "repro.evaluation.artifacts",
+    "Artifact": "repro.evaluation.artifacts",
+    "ArtifactError": "repro.evaluation.artifacts",
+    "accuracy_score": "repro.evaluation.metrics",
+    "confusion_matrix": "repro.evaluation.metrics",
+    "error_rate": "repro.evaluation.metrics",
+    "per_class_accuracy": "repro.evaluation.metrics",
+    "EvaluatedDesign": "repro.evaluation.pareto_analysis",
+    "evaluate_front": "repro.evaluation.pareto_analysis",
+    "true_pareto_front": "repro.evaluation.pareto_analysis",
+    "select_design": "repro.evaluation.pareto_analysis",
+    "FeasibilityResult": "repro.evaluation.feasibility",
+    "assess_feasibility": "repro.evaluation.feasibility",
+    "format_rows": "repro.evaluation.report",
+    "format_table": "repro.evaluation.report",
+    "reduction_factor": "repro.evaluation.report",
+    "DesignVerification": "repro.evaluation.verification",
+    "FrontVerification": "repro.evaluation.verification",
+    "NetlistPlanCache": "repro.evaluation.verification",
+    "verify_design": "repro.evaluation.verification",
+    "verify_front": "repro.evaluation.verification",
+}
+
+_SUBMODULES = (
+    "artifacts",
+    "feasibility",
+    "metrics",
+    "pareto_analysis",
+    "report",
+    "verification",
 )
-from repro.evaluation.pareto_analysis import (
-    EvaluatedDesign,
-    evaluate_front,
-    true_pareto_front,
-    select_design,
-)
-from repro.evaluation.feasibility import FeasibilityResult, assess_feasibility
-from repro.evaluation.report import format_rows, format_table, reduction_factor
-from repro.evaluation.verification import (
-    DesignVerification,
-    FrontVerification,
-    NetlistPlanCache,
-    verify_design,
-    verify_front,
-)
+
+__getattr__, __dir__ = lazy_exports(__name__, globals(), _EXPORTS, _SUBMODULES)
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",

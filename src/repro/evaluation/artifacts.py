@@ -34,7 +34,14 @@ import numpy as np
 
 from repro.evaluation.report import format_rows
 
-__all__ = ["ARTIFACT_SCHEMA_VERSION", "Artifact", "ArtifactError"]
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "Artifact",
+    "ArtifactError",
+    "normalize_cell",
+    "encode_cell",
+    "decode_cell",
+]
 
 #: Version of the exported artifact layout.  Bump whenever field names,
 #: row normalization or the special-float encoding change shape.
@@ -91,6 +98,14 @@ def _decode_value(value: object) -> object:
         except KeyError:
             raise ArtifactError(f"unknown float token {token!r}") from None
     return value
+
+
+#: Public names for the strict-JSON cell codec.  The serving design store
+#: persists its records with the exact same conventions as the artifacts
+#: (scalar-only cells, ``allow_nan=False``, special floats as tokens).
+normalize_cell = _normalize_scalar
+encode_cell = _encode_value
+decode_cell = _decode_value
 
 
 def _cells_equal(left: object, right: object) -> bool:

@@ -41,6 +41,7 @@ __all__ = [
     "resolve_decoded_model",
     "true_pareto_front",
     "select_design",
+    "design_sort_name",
 ]
 
 
@@ -209,8 +210,22 @@ def evaluate_front(
     ]
 
 
-def true_pareto_front(designs: Sequence[EvaluatedDesign]) -> List[EvaluatedDesign]:
-    """Non-dominated designs in the (error, synthesized area) plane."""
+def true_pareto_front(
+    designs: Sequence[EvaluatedDesign], slow: bool = False
+) -> List[EvaluatedDesign]:
+    """Non-dominated designs in the (accuracy, synthesized area) plane.
+
+    The fast path is the batched dominance formulation shared with the
+    serving layer (:func:`repro.serving.queries.true_front` — dominance
+    in this plane is Pareto dominance over the minimization objectives
+    ``(-accuracy, area)``, computed by the NSGA-II kernel).  ``slow=True``
+    keeps the scalar O(n²) reference walk as the bit-identical oracle
+    for the equivalence tests.
+    """
+    if not slow:
+        from repro.serving.queries import true_front
+
+        return true_front(designs)
     kept: List[EvaluatedDesign] = []
     for candidate in designs:
         dominated = False
@@ -233,6 +248,27 @@ def true_pareto_front(designs: Sequence[EvaluatedDesign]) -> List[EvaluatedDesig
     return sorted(kept, key=lambda d: d.area_cm2)
 
 
+def design_sort_name(design: EvaluatedDesign) -> str:
+    """Stable tie-break identity of one evaluated design.
+
+    Derived from the raw genome bytes when the Pareto point still
+    carries its chromosome (the same name the store publisher assigns,
+    so search-time and query-time selection agree); points without a
+    payload fall back to their objective values.
+    """
+    from repro.serving.store import design_name
+
+    payload = design.point.payload
+    if payload is None:
+        return design_name(
+            None,
+            repr(design.point.error),
+            repr(design.point.area),
+            repr(design.point.accuracy),
+        )
+    return design_name(EvaluationCache.genome_key(np.asarray(payload)))
+
+
 def select_design(
     designs: Sequence[EvaluatedDesign],
     baseline_accuracy: float,
@@ -242,13 +278,19 @@ def select_design(
 
     Falls back to the most accurate design when nothing satisfies the
     budget (mirroring the paper's practice of always reporting a
-    circuit per dataset).
+    circuit per dataset).  Ties are broken deterministically — equal
+    areas prefer the more accurate design, exact metric ties the
+    lexicographically smallest :func:`design_sort_name` — so the choice
+    is independent of front ordering, platform and iteration order
+    (delegating to the shared rule in
+    :func:`repro.serving.queries.select_design`).
     """
-    eligible = [
-        design
-        for design in designs
-        if design.test_accuracy >= baseline_accuracy - max_accuracy_loss
-    ]
-    if not eligible:
-        return max(designs, key=lambda d: d.test_accuracy, default=None)
-    return min(eligible, key=lambda d: d.area_cm2)
+    from repro.serving.queries import select_design as _select
+
+    designs = list(designs)
+    return _select(
+        designs,
+        baseline_accuracy,
+        max_accuracy_loss=max_accuracy_loss,
+        names=[design_sort_name(design) for design in designs],
+    )

@@ -21,8 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Union
 
-from repro.evaluation.pareto_analysis import select_design
-from repro.evaluation.report import format_rows, reduction_factor
+from repro.evaluation.report import format_rows
 from repro.experiments.config import ExperimentScale
 from repro.experiments.pipeline import DatasetPipeline
 from repro.experiments.table2 import ACCURACY_LOSS_BUDGET
@@ -44,58 +43,22 @@ DISPLAY = (
 def build_fig4(
     session, max_accuracy_loss: float = ACCURACY_LOSS_BUDGET
 ) -> List[Dict]:
-    """Fig. 4 rows (one per dataset and method)."""
+    """Fig. 4 rows (one per dataset and method), a thin record reader.
+
+    The session's ``front_record``/``methods_record`` stages measure
+    every comparator exactly once (models never leave the record
+    stage); row assembly — selection at this call's budget,
+    normalization, reduction factors — is the shared pure query logic,
+    so a Fig. 4 regenerated from a warm serving store is identical.
+    """
+    from repro.serving import queries
+
     rows: List[Dict] = []
     for name in session.scale.datasets:
-        result = session.front(name, max_accuracy_loss=max_accuracy_loss)
-        spec = result.spec
-        baseline = result.baseline
-        base_area = baseline.report.area_cm2
-        base_power = baseline.report.power_mw
-        x_test, y_test = result.dataset.quantized_test()
-
-        def add_row(method: str, accuracy: float, area: float, power: float) -> None:
-            rows.append(
-                {
-                    "dataset": spec.name,
-                    "method": method,
-                    "accuracy": accuracy,
-                    "area_cm2": area,
-                    "power_mw": power,
-                    "norm_area": area / base_area if base_area else float("nan"),
-                    "norm_power": power / base_power if base_power else float("nan"),
-                    "area_reduction": reduction_factor(base_area, area),
-                    "power_reduction": reduction_factor(base_power, power),
-                }
-            )
-
-        # Ours (Table II operating point, re-selected from the shared
-        # front stage at this call's accuracy-loss budget).
-        approx = result.approximate
-        assert approx is not None
-        selected = select_design(
-            approx.designs,
-            baseline_accuracy=baseline.test_accuracy,
-            max_accuracy_loss=max_accuracy_loss,
+        record = session.record(
+            name, methods=True, max_accuracy_loss=max_accuracy_loss
         )
-        assert selected is not None
-        add_row("ours", selected.test_accuracy, selected.area_cm2, selected.power_mw)
-
-        # TC'23 post-training approximation (stage shared with Fig. 5).
-        tc_model, tc_report, _ = session.tc23(name, max_accuracy_loss=max_accuracy_loss)
-        if tc_model is not None and tc_report is not None:
-            add_row("tc23", tc_model.accuracy(x_test, y_test), tc_report.area_cm2, tc_report.power_mw)
-
-        # TCAD'23 cross-approximation + VOS.
-        vos_model, vos_report, _ = session.vos(name, max_accuracy_loss=max_accuracy_loss)
-        if vos_model is not None and vos_report is not None:
-            add_row(
-                "tcad23", vos_model.accuracy(x_test, y_test), vos_report.area_cm2, vos_report.power_mw
-            )
-
-        # DATE'21 stochastic computing.
-        sc_accuracy, sc_report = session.stochastic(name)
-        add_row("date21", sc_accuracy, sc_report.area_cm2, sc_report.power_mw)
+        rows.extend(queries.fig4_rows(record, max_accuracy_loss=max_accuracy_loss))
     return rows
 
 

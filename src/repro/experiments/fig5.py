@@ -15,8 +15,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Union
 
-from repro.evaluation.feasibility import assess_feasibility
-from repro.evaluation.pareto_analysis import select_design
 from repro.evaluation.report import format_rows
 from repro.experiments.config import ExperimentScale
 from repro.experiments.pipeline import DatasetPipeline
@@ -47,47 +45,23 @@ def build_fig5(
     (they cannot tolerate voltage scaling without missing their timing),
     our design additionally at ``approximate_voltage``.
     """
+    # Thin record reader: the session's ``front_record``/``tc23_record``
+    # stages carry every operating point as plain data, and the shared
+    # pure query logic performs the selection, the 0.6 V re-scaling and
+    # the power-source classification — identically to a warm-store
+    # query through ``python -m repro.serving feasibility``.
+    from repro.serving import queries
+
     rows: List[Dict] = []
     for name in session.scale.datasets:
-        result = session.front(name, max_accuracy_loss=max_accuracy_loss)
-        spec = result.spec
-        baseline = result.baseline
-
-        entries = []
-        entries.append(("baseline_micro20", baseline.report, 1.0))
-
-        # Stage shared with Fig. 4 through the session's memo.
-        _, tc_report, _ = session.tc23(name, max_accuracy_loss=max_accuracy_loss)
-        if tc_report is not None:
-            entries.append(("tc23", tc_report, 1.0))
-
-        # Operating point re-selected from the memoized front at this
-        # call's accuracy-loss budget (matching Table II / Fig. 4).
-        approx = result.approximate
-        assert approx is not None
-        selected = select_design(
-            approx.designs,
-            baseline_accuracy=baseline.test_accuracy,
-            max_accuracy_loss=max_accuracy_loss,
-        )
-        assert selected is not None
-        entries.append(("ours", selected.report, 1.0))
-        entries.append(("ours_0v6", selected.report, approximate_voltage))
-
-        for design_name, report, voltage in entries:
-            feasibility = assess_feasibility(report, design_name=design_name, voltage=voltage)
-            rows.append(
-                {
-                    "dataset": spec.name,
-                    "design": design_name,
-                    "voltage": feasibility.voltage,
-                    "area_cm2": feasibility.area_cm2,
-                    "power_mw": feasibility.power_mw,
-                    "zone": feasibility.label,
-                    "feasible": feasibility.zone.feasible,
-                    "self_powered": feasibility.self_powered,
-                }
+        record = session.record(name, tc23=True, max_accuracy_loss=max_accuracy_loss)
+        rows.extend(
+            queries.fig5_rows(
+                record,
+                max_accuracy_loss=max_accuracy_loss,
+                approximate_voltage=approximate_voltage,
             )
+        )
     return rows
 
 

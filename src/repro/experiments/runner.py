@@ -39,6 +39,15 @@ Combined with ``--cache-dir``, the islands additionally pool computed
 fitness values through a shared segment directory, so a second
 invocation recomputes nothing (see ``docs/distributed.md``).
 
+``--store-dir DIR`` publishes a serving design store (fronts, baseline
+and comparator summaries, per-design RTL) after the experiments run —
+``--export-dir`` does so implicitly under ``<export-dir>/store``.  The
+two query modes then answer from such a store **without re-running any
+search stage**: ``--query '{"op": "select", "dataset": "redwine"}'``
+(repeatable) answers one-shot queries, ``--serve`` reads JSONL queries
+from stdin and streams JSONL answers — both thin wrappers over
+``python -m repro.serving`` (see ``docs/serving.md``).
+
 ``--verify-rtl`` differentially verifies every synthesized front member
 after the hardware-analysis stage — Python model vs. gate-level netlist
 vs. RTL testbench golden vectors, batched over ``--verify-vectors``
@@ -52,7 +61,8 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
-from typing import Dict, List
+from pathlib import Path
+from typing import Dict, List, Optional
 
 from repro.experiments.ablation import (
     format_ablation,
@@ -81,6 +91,46 @@ EXPERIMENTS: Dict[str, tuple] = {
     "ablation_approx": (run_approximation_ablation, format_ablation),
     "ablation_ga": (run_ga_settings_ablation, format_ablation),
 }
+
+
+def _query_mode(store_dir: str, queries: Optional[List[str]], serve: bool) -> int:
+    """Answer queries from a warm design store (no search stage runs).
+
+    One-shot ``--query`` strings are answered as a concurrent batch;
+    ``--serve`` additionally reads JSONL queries from stdin and streams
+    one JSONL answer per line until EOF.
+    """
+    import asyncio
+    import json
+
+    from repro.serving.cli import _dispatch, _run_batch
+    from repro.serving.service import ParetoService
+
+    service = ParetoService(store_dir)
+    code = 0
+    if queries:
+        batch = [json.loads(query) for query in queries]
+        results = asyncio.run(_run_batch(service, batch))
+        for result in results:
+            print(json.dumps(result, allow_nan=False))
+        if any(not result["ok"] for result in results):
+            code = 1
+    if serve:
+
+        async def loop() -> None:
+            for line in sys.stdin:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    result = await _dispatch(service, json.loads(line))
+                    answer = {"ok": True, "result": result}
+                except Exception as exc:  # served loop must not die per-query
+                    answer = {"ok": False, "error": str(exc)}
+                print(json.dumps(answer, allow_nan=False), flush=True)
+
+        asyncio.run(loop())
+    return code
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -151,6 +201,26 @@ def main(argv: List[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--store-dir",
+        default=None,
+        help=(
+            "serving design-store directory: experiment runs publish into "
+            "it; --serve/--query answer from it without any search stage"
+        ),
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="serve JSONL queries from stdin against --store-dir and exit",
+    )
+    parser.add_argument(
+        "--query",
+        action="append",
+        default=None,
+        metavar="JSON",
+        help='answer one query, e.g. \'{"op": "front", "dataset": "redwine"}\' (repeatable)',
+    )
+    parser.add_argument(
         "--verify-rtl",
         action="store_true",
         help=(
@@ -166,6 +236,11 @@ def main(argv: List[str] | None = None) -> int:
         help="stimulus vectors per design for --verify-rtl (default: scale setting)",
     )
     args = parser.parse_args(argv)
+
+    if args.serve or args.query:
+        if args.store_dir is None:
+            parser.error("--serve/--query require --store-dir (a published design store)")
+        return _query_mode(args.store_dir, args.query, serve=args.serve)
 
     scale = SCALES[args.scale]
     if args.workers is not None:
@@ -203,12 +278,23 @@ def main(argv: List[str] | None = None) -> int:
 
     session = ExperimentSession(scale)
     names = list(EXPERIMENT_ORDER) if args.experiment == "all" else [args.experiment]
-    artifacts = session.run(names, export_dir=args.export_dir)
+    artifacts = session.run(
+        names, export_dir=args.export_dir, store_dir=args.store_dir
+    )
     for name in names:
         print(f"\n=== {name} (scale={args.scale}) ===")
         print(artifacts[name].format())
     if args.export_dir is not None:
         print(f"\n[export] wrote {len(artifacts)} experiment(s) to {args.export_dir} (.json + .csv)")
+    store_dir = args.store_dir
+    if store_dir is None and args.export_dir is not None:
+        store_dir = str(Path(args.export_dir) / "store")
+    if store_dir is not None:
+        from repro.serving.store import DesignStore
+
+        published = DesignStore(store_dir).datasets()
+        if published:
+            print(f"[store] published {len(published)} dataset(s) to {store_dir}: {', '.join(published)}")
     if session.pipeline.cache_dir is not None:
         for dataset, stats in sorted(session.cache_summary().items()):
             print(

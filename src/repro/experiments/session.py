@@ -307,6 +307,91 @@ class ExperimentSession:
             return self._run_stage(("ga_variant", dataset, label), build)
 
     # ------------------------------------------------------------------
+    # Record stages (plain-data views consumed by the thin experiment
+    # builders and published into the serving DesignStore)
+    # ------------------------------------------------------------------
+    def front_record(self, name: str):
+        """Plain-data :class:`~repro.serving.store.FrontRecord` (memoized)."""
+        from repro.experiments.publish import front_record
+
+        with self._dataset_lock(name):
+            return self._run_stage(
+                ("front_record", name),
+                lambda: front_record(self.front(name), self.scale),
+            )
+
+    def tc23_record(self, name: str, max_accuracy_loss: float = 0.05):
+        """Plain-data TC'23 record, accuracy measured once (memoized)."""
+        from repro.experiments.publish import tc23_record
+
+        with self._dataset_lock(name):
+            return self._run_stage(
+                ("tc23_record", name, max_accuracy_loss),
+                lambda: tc23_record(
+                    self.baseline(name),
+                    self.tc23(name, max_accuracy_loss=max_accuracy_loss),
+                    max_accuracy_loss=max_accuracy_loss,
+                ),
+            )
+
+    def methods_record(self, name: str, max_accuracy_loss: float = 0.05):
+        """Comparator-method summaries for Fig. 4 (memoized)."""
+        from repro.experiments.publish import methods_record
+
+        with self._dataset_lock(name):
+            return self._run_stage(
+                ("methods_record", name, max_accuracy_loss),
+                lambda: methods_record(
+                    self, name, max_accuracy_loss=max_accuracy_loss
+                ),
+            )
+
+    def rtl_records(self, name: str):
+        """Per-design Verilog/testbench records of the front (memoized)."""
+        from repro.experiments.publish import rtl_records
+
+        with self._dataset_lock(name):
+            return self._run_stage(
+                ("rtl_records", name), lambda: rtl_records(self.front(name))
+            )
+
+    def record(
+        self,
+        name: str,
+        *,
+        tc23: bool = False,
+        methods: bool = False,
+        max_accuracy_loss: float = 0.05,
+    ):
+        """Joined :class:`~repro.serving.store.DatasetRecord` view.
+
+        The thin experiment builders read this instead of live pipeline
+        objects, so a figure built in-session and one answered from a
+        warm store go through the *same* pure query code.
+        """
+        from repro.serving.store import DatasetRecord
+
+        return DatasetRecord(
+            front=self.front_record(name),
+            tc23=(
+                self.tc23_record(name, max_accuracy_loss=max_accuracy_loss)
+                if tc23
+                else None
+            ),
+            methods=(
+                self.methods_record(name, max_accuracy_loss=max_accuracy_loss)
+                if methods
+                else None
+            ),
+        )
+
+    def publish(self, store, experiments=None) -> dict:
+        """Publish this session's results into a serving design store."""
+        from repro.experiments.publish import publish_session
+
+        return publish_session(self, store, experiments=experiments)
+
+    # ------------------------------------------------------------------
     # Artifacts
     # ------------------------------------------------------------------
     def artifact(self, name: str) -> Artifact:
@@ -339,6 +424,7 @@ class ExperimentSession:
         experiments: Union[None, str, Sequence[str]] = None,
         export_dir: Optional[Union[str, Path]] = None,
         dataset_workers: Optional[int] = None,
+        store_dir: Optional[Union[str, Path]] = None,
     ) -> Dict[str, Artifact]:
         """Run experiments and return their artifacts, in canonical order.
 
@@ -349,13 +435,21 @@ class ExperimentSession:
             a sequence of names.
         export_dir:
             When set, every artifact is written there as
-            ``<experiment>.json`` + ``<experiment>.csv``.
+            ``<experiment>.json`` + ``<experiment>.csv``; fig4/fig5 runs
+            additionally export plot-ready ``<experiment>_points`` sets,
+            and the serving design store is published under
+            ``<export_dir>/store`` (unless ``store_dir`` overrides it).
         dataset_workers:
             Warm the per-dataset heavy stages in this many threads
             before building artifacts (default: the scale's
             ``dataset_workers``).  Datasets are independent, so their
             baseline + GA stages parallelize cleanly; experiment
             builders then read memoized results.
+        store_dir:
+            Explicit serving-store directory; everything query time
+            needs (fronts, baselines, comparators, RTL) is published
+            there so ``python -m repro.serving`` can answer without
+            re-running any search stage.
         """
         if experiments is None or experiments == "all":
             names = list(EXPERIMENT_ORDER)
@@ -386,7 +480,44 @@ class ExperimentSession:
         if export_dir is not None:
             for artifact in artifacts.values():
                 artifact.save(export_dir)
+            for points in self._points_artifacts(artifacts):
+                points.save(export_dir)
+        if store_dir is None and export_dir is not None:
+            store_dir = Path(export_dir) / "store"
+        if store_dir is not None and any(
+            "ga_front" in EXPERIMENT_DEFINITIONS[name].stages for name in names
+        ):
+            self.publish(store_dir, experiments=names)
         return artifacts
+
+    def _points_artifacts(self, artifacts: Dict[str, Artifact]) -> List[Artifact]:
+        """Plot-ready ``fig4_points``/``fig5_points`` companion artifacts.
+
+        Pure projections of the figure artifacts' rows (shared with the
+        serving layer, which regenerates the same sets from a warm
+        store via ``python -m repro.serving points``).
+        """
+        from repro.serving import queries
+
+        companions: List[Artifact] = []
+        for name, project, display in (
+            ("fig4", queries.fig4_point_rows, queries.FIG4_POINTS_DISPLAY),
+            ("fig5", queries.fig5_point_rows, queries.FIG5_POINTS_DISPLAY),
+        ):
+            artifact = artifacts.get(name)
+            if artifact is None:
+                continue
+            companions.append(
+                Artifact.build(
+                    f"{name}_points",
+                    project([dict(row) for row in artifact.rows]),
+                    scale=self.scale.name,
+                    seed=self.scale.seed,
+                    datasets=self.scale.datasets,
+                    display=display,
+                )
+            )
+        return companions
 
     def _prefetch_plan(
         self, names: Sequence[str]

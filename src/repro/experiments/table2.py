@@ -15,8 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Union
 
-from repro.evaluation.pareto_analysis import select_design
-from repro.evaluation.report import format_rows, reduction_factor
+from repro.evaluation.report import format_rows
 from repro.experiments.config import ExperimentScale
 from repro.experiments.pipeline import DatasetPipeline
 
@@ -50,39 +49,46 @@ DISPLAY = (
 def build_table2(
     session, max_accuracy_loss: float = ACCURACY_LOSS_BUDGET
 ) -> List[Dict]:
-    """Table II rows (one per dataset) from the session's front stage."""
+    """Table II rows (one per dataset), a thin reader over front records.
+
+    The builder consumes the session's plain-data
+    :class:`~repro.serving.store.FrontRecord` — the exact payload a
+    warm serving store holds — and delegates selection + reductions to
+    the shared pure query logic, so a Table II regenerated from a store
+    is cell-for-cell identical to one built in-session.
+    """
+    from repro.serving import queries
+    from repro.serving.store import StoreError
+
     rows: List[Dict] = []
     for name in session.scale.datasets:
-        result = session.front(name, max_accuracy_loss=max_accuracy_loss)
-        baseline = result.baseline
-        approx = result.approximate
-        assert approx is not None
-        # Re-select from the memoized front: the GA trains once per
-        # dataset, but the operating-point choice honors *this* call's
-        # accuracy-loss budget (selection is cheap and pure).
-        selected = select_design(
-            approx.designs,
-            baseline_accuracy=baseline.test_accuracy,
-            max_accuracy_loss=max_accuracy_loss,
-        )
-        if selected is None:
+        record = session.record(name)
+        try:
+            # Re-select from the memoized front record: the GA trains
+            # once per dataset, but the operating-point choice honors
+            # *this* call's accuracy-loss budget.
+            selection = queries.selection_row(
+                record, max_accuracy_loss=max_accuracy_loss
+            )
+        except StoreError:
             raise RuntimeError(f"no admissible design found for dataset {name}")
+        paper = PAPER_TABLE2.get(name, (None,) * 5)
         rows.append(
             {
-                "dataset": result.spec.name,
-                "accuracy": selected.test_accuracy,
-                "baseline_accuracy": baseline.test_accuracy,
-                "accuracy_loss": baseline.test_accuracy - selected.test_accuracy,
-                "area_cm2": selected.area_cm2,
-                "power_mw": selected.power_mw,
-                "baseline_area_cm2": baseline.report.area_cm2,
-                "baseline_power_mw": baseline.report.power_mw,
-                "area_reduction": reduction_factor(baseline.report.area_cm2, selected.area_cm2),
-                "power_reduction": reduction_factor(baseline.report.power_mw, selected.power_mw),
-                "fa_count": selected.point.area,
-                "paper_accuracy": PAPER_TABLE2.get(result.spec.name, (None,) * 5)[0],
-                "paper_area_reduction": PAPER_TABLE2.get(result.spec.name, (None,) * 5)[3],
-                "paper_power_reduction": PAPER_TABLE2.get(result.spec.name, (None,) * 5)[4],
+                "dataset": selection["dataset"],
+                "accuracy": selection["accuracy"],
+                "baseline_accuracy": selection["baseline_accuracy"],
+                "accuracy_loss": selection["accuracy_loss"],
+                "area_cm2": selection["area_cm2"],
+                "power_mw": selection["power_mw"],
+                "baseline_area_cm2": selection["baseline_area_cm2"],
+                "baseline_power_mw": selection["baseline_power_mw"],
+                "area_reduction": selection["area_reduction"],
+                "power_reduction": selection["power_reduction"],
+                "fa_count": selection["fa_count"],
+                "paper_accuracy": paper[0],
+                "paper_area_reduction": paper[3],
+                "paper_power_reduction": paper[4],
             }
         )
     return rows

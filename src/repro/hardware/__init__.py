@@ -21,49 +21,62 @@ analytical but structurally faithful model:
   harvesters used for the feasibility study (Fig. 5).
 """
 
-from repro.hardware.adder_tree import (
-    AdderTreeCost,
-    count_adders_from_columns,
-    approximate_neuron_columns,
-    neuron_adder_cost,
-    layer_adder_cost,
-    mlp_fa_count,
-    mlp_adder_cost,
+# Re-exports are lazy (PEP 562): the serving layer's feasibility queries
+# import the technology-parameter modules (egfet, power_sources) without
+# the synthesis engines or netlist simulator loading as a side effect.
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "AdderTreeCost": "repro.hardware.adder_tree",
+    "count_adders_from_columns": "repro.hardware.adder_tree",
+    "approximate_neuron_columns": "repro.hardware.adder_tree",
+    "neuron_adder_cost": "repro.hardware.adder_tree",
+    "layer_adder_cost": "repro.hardware.adder_tree",
+    "mlp_fa_count": "repro.hardware.adder_tree",
+    "mlp_adder_cost": "repro.hardware.adder_tree",
+    "EGFETLibrary": "repro.hardware.egfet",
+    "CellSpec": "repro.hardware.egfet",
+    "default_egfet_library": "repro.hardware.egfet",
+    "csd_encode": "repro.hardware.area",
+    "csd_nonzero_digits": "repro.hardware.area",
+    "constant_multiplier_columns": "repro.hardware.area",
+    "exact_neuron_columns": "repro.hardware.area",
+    "exact_neuron_adder_cost": "repro.hardware.area",
+    "HardwareReport": "repro.hardware.synthesis",
+    "synthesize_approximate_mlp": "repro.hardware.synthesis",
+    "synthesize_exact_mlp": "repro.hardware.synthesis",
+    "PowerSource": "repro.hardware.power_sources",
+    "PRINTED_POWER_SOURCES": "repro.hardware.power_sources",
+    "classify_power_source": "repro.hardware.power_sources",
+    "fast_mlp_fa_count": "repro.hardware.fast_area",
+    "fast_synthesize_approximate_mlp": "repro.hardware.fast_synthesis",
+    "fast_synthesize_exact_mlp": "repro.hardware.fast_synthesis",
+    "reduce_columns_adder_costs": "repro.hardware.fast_synthesis",
+    "synthesize_approximate_population": "repro.hardware.fast_synthesis",
+    "synthesize_exact_population": "repro.hardware.fast_synthesis",
+    "Netlist": "repro.hardware.netlist",
+    "build_neuron_netlist": "repro.hardware.netlist",
+    "CompiledNetlist": "repro.hardware.simulator",
+    "compile_netlist": "repro.hardware.simulator",
+    "simulate": "repro.hardware.simulator",
+    "simulate_batch": "repro.hardware.simulator",
+    "verify_neuron_netlist": "repro.hardware.simulator",
+}
+
+_SUBMODULES = (
+    "adder_tree",
+    "area",
+    "egfet",
+    "fast_area",
+    "fast_synthesis",
+    "gates",
+    "netlist",
+    "power_sources",
+    "simulator",
+    "synthesis",
 )
-from repro.hardware.egfet import EGFETLibrary, CellSpec, default_egfet_library
-from repro.hardware.area import (
-    csd_encode,
-    csd_nonzero_digits,
-    constant_multiplier_columns,
-    exact_neuron_columns,
-    exact_neuron_adder_cost,
-)
-from repro.hardware.synthesis import (
-    HardwareReport,
-    synthesize_approximate_mlp,
-    synthesize_exact_mlp,
-)
-from repro.hardware.power_sources import (
-    PowerSource,
-    PRINTED_POWER_SOURCES,
-    classify_power_source,
-)
-from repro.hardware.fast_area import fast_mlp_fa_count
-from repro.hardware.fast_synthesis import (
-    fast_synthesize_approximate_mlp,
-    fast_synthesize_exact_mlp,
-    reduce_columns_adder_costs,
-    synthesize_approximate_population,
-    synthesize_exact_population,
-)
-from repro.hardware.netlist import Netlist, build_neuron_netlist
-from repro.hardware.simulator import (
-    CompiledNetlist,
-    compile_netlist,
-    simulate,
-    simulate_batch,
-    verify_neuron_netlist,
-)
+
+__getattr__, __dir__ = lazy_exports(__name__, globals(), _EXPORTS, _SUBMODULES)
 
 __all__ = [
     "AdderTreeCost",

@@ -1,0 +1,282 @@
+"""``python -m repro.serving`` — query a warm design store from the shell.
+
+Every command answers from the store alone; nothing here (or in any
+module this one imports) can start a GA search or a synthesis run.  The
+``--assert-pure`` flag turns that promise into a runtime check: after
+answering, the process inspects ``sys.modules`` and fails (exit code 3)
+if any search-time module was imported.  The CI serve-smoke job runs its
+whole query battery under this flag.
+
+Commands::
+
+    datasets                              list stored datasets
+    select <dataset> [--max-accuracy-loss X]
+    front <dataset>
+    feasibility <dataset> [--voltage V] [--max-accuracy-loss X]
+    rtl <dataset> [--design NAME] [--emit verilog|testbench]
+    points {fig4,fig5} [--out DIR]        plot-ready point sets
+    batch [--queries FILE]                JSONL query battery (stdin default)
+
+All structured output is JSON on stdout, one document (or one line per
+batch query); diagnostics go to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.serving import queries
+from repro.serving.service import ParetoService
+from repro.serving.store import DesignStore, StoreError
+
+__all__ = ["FORBIDDEN_MODULES", "forbidden_loaded", "main"]
+
+#: Module prefixes the serving layer must never import — the search-time
+#: half of the system.  Single source of truth for ``--assert-pure``,
+#: the import-graph unit test and the CI serve-smoke job.
+FORBIDDEN_MODULES = (
+    "repro.approx",
+    "repro.baselines",
+    "repro.datasets",
+    "repro.quant",
+    "repro.rtl",
+    "repro.experiments",
+    "repro.core.trainer",
+    "repro.core.islands",
+    "repro.core.operators",
+    "repro.core.fitness",
+    "repro.core.population",
+    "repro.core.chromosome",
+    "repro.hardware.synthesis",
+    "repro.hardware.fast_synthesis",
+    "repro.hardware.fast_area",
+    "repro.hardware.area",
+    "repro.hardware.adder_tree",
+    "repro.hardware.gates",
+    "repro.hardware.netlist",
+    "repro.hardware.simulator",
+    "repro.evaluation.pareto_analysis",
+    "repro.evaluation.verification",
+    "repro.evaluation.feasibility",
+    "repro.evaluation.metrics",
+)
+
+
+def forbidden_loaded() -> List[str]:
+    """Search-time modules currently present in ``sys.modules``."""
+    loaded = []
+    for name in sys.modules:
+        for forbidden in FORBIDDEN_MODULES:
+            if name == forbidden or name.startswith(forbidden + "."):
+                loaded.append(name)
+                break
+    return sorted(loaded)
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description="Answer Pareto-front queries from a persisted design store.",
+    )
+    parser.add_argument(
+        "--store", required=True, help="design-store directory (…/store)"
+    )
+    parser.add_argument(
+        "--assert-pure",
+        action="store_true",
+        help="fail (exit 3) if any search-time module was imported",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list datasets with a published front")
+
+    cmd = sub.add_parser("select", help="operating point within a loss budget")
+    cmd.add_argument("dataset")
+    cmd.add_argument("--max-accuracy-loss", type=float, default=None)
+
+    cmd = sub.add_parser("front", help="true Pareto front of one dataset")
+    cmd.add_argument("dataset")
+
+    cmd = sub.add_parser("feasibility", help="printed-power-source feasibility")
+    cmd.add_argument("dataset")
+    cmd.add_argument("--voltage", type=float, default=None)
+    cmd.add_argument("--max-accuracy-loss", type=float, default=None)
+
+    cmd = sub.add_parser("rtl", help="Verilog + testbench of one design")
+    cmd.add_argument("dataset")
+    cmd.add_argument("--design", default=None)
+    cmd.add_argument("--max-accuracy-loss", type=float, default=None)
+    cmd.add_argument(
+        "--emit",
+        choices=("verilog", "testbench"),
+        default=None,
+        help="print just the requested source text instead of JSON",
+    )
+
+    cmd = sub.add_parser("points", help="plot-ready fig4/fig5 point sets")
+    cmd.add_argument("experiment", choices=("fig4", "fig5"))
+    cmd.add_argument("--out", default=None, help="write <exp>_points.json/.csv here")
+    cmd.add_argument("--max-accuracy-loss", type=float, default=None)
+
+    cmd = sub.add_parser("batch", help="run a JSONL query battery concurrently")
+    cmd.add_argument(
+        "--queries",
+        default=None,
+        help="JSONL file of {op, dataset, ...} queries (default: stdin)",
+    )
+    cmd.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the service metrics snapshot to stderr afterwards",
+    )
+    return parser
+
+
+async def _dispatch(service: ParetoService, query: Dict) -> object:
+    """Route one {op, ...} query object to the service."""
+    op = query.get("op")
+    dataset = query.get("dataset")
+    loss = query.get("max_accuracy_loss")
+    if op == "datasets":
+        return await service.datasets()
+    if op == "select":
+        return await service.select(dataset, max_accuracy_loss=loss)
+    if op == "front":
+        return await service.front(dataset)
+    if op == "feasibility":
+        return await service.feasibility(
+            dataset, voltage=query.get("voltage"), max_accuracy_loss=loss
+        )
+    if op == "rtl":
+        return await service.rtl(
+            dataset, design=query.get("design"), max_accuracy_loss=loss
+        )
+    if op == "points":
+        return await service.points(query.get("experiment"), max_accuracy_loss=loss)
+    raise ValueError(f"unknown query op {op!r}")
+
+
+async def _run_batch(
+    service: ParetoService, batch: List[Dict]
+) -> List[Dict]:
+    async def run_one(query: Dict) -> Dict:
+        try:
+            result = await _dispatch(service, query)
+        except (StoreError, ValueError, KeyError, TypeError) as exc:
+            return {"ok": False, "query": query, "error": str(exc)}
+        return {"ok": True, "query": query, "result": result}
+
+    return list(await asyncio.gather(*(run_one(query) for query in batch)))
+
+
+def _emit(payload: object) -> None:
+    json.dump(payload, sys.stdout, indent=2, sort_keys=False, allow_nan=False)
+    sys.stdout.write("\n")
+
+
+def _points(
+    store: DesignStore, experiment: str, loss: Optional[float], out: Optional[str]
+) -> object:
+    service = ParetoService(store)
+    rows = asyncio.run(service.points(experiment, max_accuracy_loss=loss))
+    if out is None:
+        return rows
+    # Artifact reuse keeps the export format identical to the session's
+    # (`<experiment>_points.json` + `.csv`, strict JSON, display pairs).
+    from repro.evaluation.artifacts import Artifact
+
+    display = (
+        queries.FIG4_POINTS_DISPLAY if experiment == "fig4" else queries.FIG5_POINTS_DISPLAY
+    )
+    front = store.get_front(store.datasets()[0]) if store.datasets() else None
+    artifact = Artifact.build(
+        f"{experiment}_points",
+        rows,
+        scale=front.scale if front else "unknown",
+        seed=front.seed if front else 0,
+        datasets=store.datasets(),
+        display=display,
+    )
+    artifact.save(out)
+    return {
+        "experiment": f"{experiment}_points",
+        "rows": len(rows),
+        "out": str(Path(out)),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _parser().parse_args(argv)
+    store = DesignStore(args.store)
+    service = ParetoService(store)
+    code = 0
+    try:
+        if args.command == "datasets":
+            _emit(asyncio.run(service.datasets()))
+        elif args.command == "select":
+            _emit(
+                asyncio.run(
+                    service.select(args.dataset, max_accuracy_loss=args.max_accuracy_loss)
+                )
+            )
+        elif args.command == "front":
+            _emit(asyncio.run(service.front(args.dataset)))
+        elif args.command == "feasibility":
+            _emit(
+                asyncio.run(
+                    service.feasibility(
+                        args.dataset,
+                        voltage=args.voltage,
+                        max_accuracy_loss=args.max_accuracy_loss,
+                    )
+                )
+            )
+        elif args.command == "rtl":
+            result = asyncio.run(
+                service.rtl(
+                    args.dataset,
+                    design=args.design,
+                    max_accuracy_loss=args.max_accuracy_loss,
+                )
+            )
+            if args.emit is not None:
+                sys.stdout.write(result[args.emit])
+            else:
+                _emit(result)
+        elif args.command == "points":
+            _emit(_points(store, args.experiment, args.max_accuracy_loss, args.out))
+        elif args.command == "batch":
+            if args.queries is None:
+                lines = sys.stdin.read().splitlines()
+            else:
+                lines = Path(args.queries).read_text(encoding="utf-8").splitlines()
+            batch = [json.loads(line) for line in lines if line.strip()]
+            results = asyncio.run(_run_batch(service, batch))
+            for result in results:
+                json.dump(result, sys.stdout, sort_keys=False, allow_nan=False)
+                sys.stdout.write("\n")
+            if args.metrics:
+                print(json.dumps(service.metrics(), indent=2), file=sys.stderr)
+            if any(not result["ok"] for result in results):
+                code = 1
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        code = 1
+
+    if args.assert_pure:
+        loaded = forbidden_loaded()
+        if loaded:
+            print(f"[purity] search-time modules imported: {loaded}", file=sys.stderr)
+            return 3
+        print(
+            f"[purity] serving import graph clean "
+            f"({sum(name.startswith('repro') for name in sys.modules)} repro modules)",
+            file=sys.stderr,
+        )
+    return code

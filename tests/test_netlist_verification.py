@@ -547,7 +547,7 @@ class TestPipelineVerifyRtl:
         seen = {}
 
         class StubSession(runner.ExperimentSession):
-            def run(self, experiments=None, export_dir=None, dataset_workers=None):
+            def run(self, experiments=None, export_dir=None, dataset_workers=None, **kwargs):
                 seen["scale"] = self.scale
                 return {name: _EMPTY_ARTIFACT for name in experiments}
 

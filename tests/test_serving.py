@@ -1,0 +1,664 @@
+"""Tests of the serving split: DesignStore, pure queries, ParetoService.
+
+Pins the tentpole guarantees of the search-time / query-time split:
+
+* **store round-trip** — every record survives the strict-JSON store
+  bit-identically, writes are atomic, malformed and version-mismatched
+  files fail loudly, and the record schemas are golden-pinned;
+* **import purity** — ``repro.serving`` (checked in a subprocess)
+  imports no trainer, genetic operator or synthesis engine;
+* **vectorized true front** — the batched dominance formulation is
+  bit-identical to the scalar ``slow=True`` oracle, ties included;
+* **deterministic selection** — ``select_design`` breaks area ties by
+  accuracy and exact ties by stable design name, independent of input
+  order;
+* **stampede protection** — 64 identical concurrent queries trigger
+  exactly one store read;
+* **warm-store parity** — a session-published store answers
+  select/front/feasibility/rtl for every dataset with zero search-stage
+  executions, cell-for-cell equal to the session's own artifacts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serving import queries
+from repro.serving.service import ParetoService
+from repro.serving.store import (
+    STORE_SCHEMA_VERSION,
+    DatasetRecord,
+    DesignRecord,
+    DesignStore,
+    FrontRecord,
+    MethodRecord,
+    MethodsRecord,
+    ReportRecord,
+    RTLRecord,
+    StoreError,
+    Tc23Record,
+    VerificationRecord,
+    design_name,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+# ---------------------------------------------------------------------------
+# Fixture records
+# ---------------------------------------------------------------------------
+
+
+def _design(index: int, accuracy: float, area: float, **overrides) -> DesignRecord:
+    values = dict(
+        name=design_name(bytes([index])),
+        index=index,
+        test_accuracy=accuracy,
+        train_accuracy=accuracy + 0.01,
+        error=1.0 - (accuracy + 0.01),
+        fa_count=float(40 - 10 * index),
+        area_cm2=area,
+        power_mw=3.0 * area,
+        delay_ms=0.5,
+        voltage=1.0,
+        clock_period_ms=5.0,
+    )
+    values.update(overrides)
+    return DesignRecord(**values)
+
+
+def _front(designs, dataset="demo") -> FrontRecord:
+    return FrontRecord(
+        dataset=dataset,
+        scale="smoke",
+        seed=0,
+        fingerprint="fp",
+        split="split",
+        baseline_test_accuracy=0.93,
+        baseline_train_accuracy=0.95,
+        baseline=ReportRecord(2.0, 6.0, 0.4, 1.0, 5.0),
+        designs=tuple(designs),
+        default_accuracy_loss=0.05,
+        selected=designs[0].name if designs else None,
+        training_seconds=1.5,
+        verification=VerificationRecord(len(designs), 16, 0, 0, 0, 0, True),
+    )
+
+
+@pytest.fixture()
+def store(tmp_path) -> DesignStore:
+    """A populated store: front + tc23 + methods + RTL for one dataset."""
+    designs = [_design(0, 0.92, 1.0), _design(1, 0.88, 0.6), _design(2, 0.80, 0.3)]
+    store = DesignStore(tmp_path / "store")
+    store.put_front(_front(designs))
+    store.put_tc23(
+        Tc23Record(
+            dataset="demo",
+            max_accuracy_loss=0.05,
+            accuracy=0.9,
+            report=ReportRecord(1.5, 4.0, 0.3, 1.0, 5.0),
+        )
+    )
+    store.put_methods(
+        MethodsRecord(
+            dataset="demo",
+            max_accuracy_loss=0.05,
+            methods=(
+                MethodRecord("tc23", 0.9, 1.5, 4.0),
+                MethodRecord("date21", 0.6, 0.2, 0.5),
+            ),
+        )
+    )
+    for design in designs:
+        store.put_rtl(
+            RTLRecord(
+                dataset="demo",
+                design=design.name,
+                module_name=f"m_{design.name}",
+                verilog=f"module m_{design.name}; endmodule",
+                testbench=f"// tb {design.name}",
+            )
+        )
+    return store
+
+
+class TestStoreRoundTrip:
+    def test_round_trip_bit_identical(self, store):
+        record = store.get_dataset("demo")
+        designs = [_design(0, 0.92, 1.0), _design(1, 0.88, 0.6), _design(2, 0.80, 0.3)]
+        assert record.front == _front(designs)
+        assert record.tc23.accuracy == 0.9
+        assert record.methods.methods[1].method == "date21"
+        assert record.rtl_designs == tuple(sorted(d.name for d in designs))
+        rtl = store.get_rtl("demo", designs[0].name)
+        assert rtl.verilog == f"module m_{designs[0].name}; endmodule"
+        assert rtl.fingerprint  # auto-derived, non-empty
+
+    def test_special_floats_round_trip(self, tmp_path):
+        store = DesignStore(tmp_path)
+        designs = [_design(0, 0.9, 1.0, delay_ms=float("inf"))]
+        store.put_front(_front(designs))
+        loaded = store.get_front("demo")
+        assert loaded.designs[0].delay_ms == float("inf")
+        text = (tmp_path / "demo" / "front.json").read_text()
+        assert "Infinity" in text and "$float" in text
+        # The file itself stays strict JSON (no bare Infinity literal).
+        json.loads(text)
+
+    def test_missing_and_optional_sections(self, tmp_path):
+        store = DesignStore(tmp_path)
+        with pytest.raises(StoreError, match="no 'front' record"):
+            store.get_front("demo")
+        store.put_front(_front([_design(0, 0.9, 1.0)]))
+        record = store.get_dataset("demo")
+        assert record.tc23 is None and record.methods is None
+        assert record.rtl_designs == ()
+        assert store.datasets() == ["demo"]
+        assert store.has_dataset("demo") and not store.has_dataset("other")
+
+    def test_schema_version_mismatch_fails(self, store):
+        path = store.root / "demo" / "front.json"
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = STORE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StoreError, match="schema_version"):
+            store.get_front("demo")
+
+    def test_malformed_and_unknown_fields_fail(self, store):
+        path = store.root / "demo" / "front.json"
+        path.write_text("{not json")
+        with pytest.raises(StoreError, match="malformed"):
+            store.get_front("demo")
+        payload = {
+            "kind": "front",
+            "schema_version": STORE_SCHEMA_VERSION,
+            "fingerprint": "x",
+            "record": {"dataset": "demo", "bogus_field": 1},
+        }
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StoreError, match="bogus_field"):
+            store.get_front("demo")
+
+    def test_bare_nan_rejected(self, store):
+        path = store.root / "demo" / "front.json"
+        payload = json.loads(path.read_text())
+        path.write_text(json.dumps(payload).replace('"fp"', "NaN"))
+        with pytest.raises(StoreError):
+            store.get_front("demo")
+
+    def test_atomic_writes_leave_no_temp_files(self, store):
+        leftovers = [
+            p for p in store.root.rglob("*") if p.is_file() and p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+    def test_invalid_names_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.get_front("../escape")
+        with pytest.raises(StoreError):
+            store.get_rtl("demo", "../../etc")
+
+    def test_record_schemas_match_golden(self):
+        from repro.serving import store as store_module
+
+        record_classes = {
+            "front": FrontRecord,
+            "design": DesignRecord,
+            "report": ReportRecord,
+            "method": MethodRecord,
+            "verification": VerificationRecord,
+            "tc23": Tc23Record,
+            "methods": MethodsRecord,
+            "rtl": RTLRecord,
+            "dataset": DatasetRecord,
+        }
+        produced = {
+            "schema_version": store_module.STORE_SCHEMA_VERSION,
+            "records": {
+                name: sorted(f.name for f in dataclasses.fields(cls))
+                for name, cls in record_classes.items()
+            },
+        }
+        golden = json.loads(
+            (GOLDEN_DIR / "store_records.schema.json").read_text(encoding="utf-8")
+        )
+        assert produced == golden, (
+            "store record schema drifted from tests/golden/store_records."
+            "schema.json; if intentional, regenerate the golden and bump "
+            "STORE_SCHEMA_VERSION"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Import purity
+# ---------------------------------------------------------------------------
+
+
+class TestImportPurity:
+    def test_serving_imports_no_search_modules(self):
+        """Subprocess guard: the whole serving package stays search-free."""
+        code = (
+            "import json, sys\n"
+            "import repro.serving\n"
+            "import repro.serving.cli, repro.serving.queries\n"
+            "import repro.serving.service, repro.serving.store\n"
+            "from repro.serving.cli import forbidden_loaded\n"
+            "print(json.dumps({'forbidden': forbidden_loaded(),\n"
+            "                  'repro': sorted(m for m in sys.modules\n"
+            "                                  if m.startswith('repro'))}))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        report = json.loads(result.stdout)
+        assert report["forbidden"] == [], (
+            "repro.serving imported search-time modules: "
+            f"{report['forbidden']} (loaded: {report['repro']})"
+        )
+
+    def test_forbidden_list_covers_the_search_stack(self):
+        from repro.serving.cli import FORBIDDEN_MODULES
+
+        for prefix in (
+            "repro.core.trainer",
+            "repro.core.operators",
+            "repro.approx",
+            "repro.rtl",
+            "repro.hardware.synthesis",
+            "repro.experiments",
+        ):
+            assert prefix in FORBIDDEN_MODULES
+
+
+# ---------------------------------------------------------------------------
+# Vectorized true front vs the scalar oracle
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class FakeDesign:
+    test_accuracy: float
+    area_cm2: float
+
+
+class TestTrueFrontEquivalence:
+    def _random_designs(self, rng, n):
+        # Quantized values provoke plenty of exact ties.
+        accuracies = rng.integers(0, 6, size=n) / 5.0
+        areas = rng.integers(1, 6, size=n) / 2.0
+        return [FakeDesign(float(a), float(b)) for a, b in zip(accuracies, areas)]
+
+    def test_matches_scalar_oracle(self):
+        from repro.evaluation.pareto_analysis import true_pareto_front
+
+        rng = np.random.default_rng(7)
+        for n in (0, 1, 2, 3, 8, 40, 120):
+            designs = self._random_designs(rng, n)
+            fast = true_pareto_front(designs)
+            slow = true_pareto_front(designs, slow=True)
+            assert len(fast) == len(slow)
+            for f, s in zip(fast, slow):
+                assert f is s  # same objects, same order
+
+    def test_duplicates_all_survive(self):
+        from repro.evaluation.pareto_analysis import true_pareto_front
+
+        twin = [FakeDesign(0.9, 1.0), FakeDesign(0.9, 1.0), FakeDesign(0.5, 2.0)]
+        fast = true_pareto_front(twin)
+        slow = true_pareto_front(twin, slow=True)
+        assert fast == slow == [twin[0], twin[1]]
+
+    def test_mask_semantics(self):
+        mask = queries.nondominated_mask([0.9, 0.8, 0.95], [1.0, 2.0, 3.0])
+        assert mask.tolist() == [True, False, True]
+        assert queries.nondominated_mask([], []).tolist() == []
+
+
+# ---------------------------------------------------------------------------
+# Deterministic selection
+# ---------------------------------------------------------------------------
+
+
+class TestDeterministicSelection:
+    def test_area_tie_prefers_accuracy_then_name(self):
+        a = _design(0, 0.92, 0.5)
+        b = _design(1, 0.90, 0.5)
+        picked = queries.select_design([b, a], baseline_accuracy=0.93)
+        assert picked is a  # same area, higher accuracy wins
+        twin_a = _design(0, 0.92, 0.5)
+        twin_b = _design(1, 0.92, 0.5)
+        expected = min(twin_a.name, twin_b.name)
+        for ordering in ([twin_a, twin_b], [twin_b, twin_a]):
+            assert queries.select_design(ordering, 0.93).name == expected
+
+    def test_order_independence(self):
+        rng = np.random.default_rng(3)
+        designs = [
+            _design(i, float(rng.integers(80, 95)) / 100, float(rng.integers(1, 4)) / 2)
+            for i in range(12)
+        ]
+        baseline = 0.93
+        reference = queries.select_design(designs, baseline).name
+        for _ in range(10):
+            shuffled = list(designs)
+            rng.shuffle(shuffled)
+            assert queries.select_design(shuffled, baseline).name == reference
+
+    def test_fallback_is_deterministic(self):
+        # Nothing eligible: most accurate wins, ties by area then name.
+        a = _design(0, 0.5, 2.0)
+        b = _design(1, 0.5, 1.0)
+        assert queries.select_design([a, b], baseline_accuracy=0.99) is b
+        assert queries.select_design([], baseline_accuracy=0.99) is None
+
+    def test_evaluated_design_selection_matches_record_selection(self):
+        """pareto_analysis.select_design and queries.select agree on ties."""
+        from repro.core.pareto import ParetoPoint
+        from repro.evaluation.pareto_analysis import (
+            design_sort_name,
+            select_design as live_select,
+        )
+        from repro.evaluation.pareto_analysis import EvaluatedDesign
+        from repro.hardware.synthesis import HardwareReport
+
+        def live(index, accuracy, area):
+            return EvaluatedDesign(
+                point=ParetoPoint(
+                    error=1.0 - accuracy,
+                    area=10.0,
+                    accuracy=accuracy,
+                    payload=np.array([index], dtype=np.int64),
+                ),
+                test_accuracy=accuracy,
+                report=HardwareReport(
+                    area_cm2=area,
+                    power_mw=1.0,
+                    delay_ms=0.1,
+                    voltage=1.0,
+                    clock_period_ms=5.0,
+                ),
+            )
+
+        designs = [live(0, 0.9, 1.0), live(1, 0.9, 1.0), live(2, 0.8, 0.4)]
+        picked = live_select(designs, baseline_accuracy=0.92)
+        names = [design_sort_name(d) for d in designs]
+        # Exact tie between designs 0 and 1: the smaller stable name wins,
+        # and the record-level rule picks the same design.
+        assert design_sort_name(picked) == min(names[0], names[1])
+        records = [
+            _design(i, d.test_accuracy, d.area_cm2, name=names[i])
+            for i, d in enumerate(designs)
+        ]
+        assert queries.select_design(records, 0.92).name == design_sort_name(picked)
+
+
+# ---------------------------------------------------------------------------
+# Queries over a populated store
+# ---------------------------------------------------------------------------
+
+
+class TestQueries:
+    def test_selection_row(self, store):
+        record = store.get_dataset("demo")
+        row = queries.selection_row(record)
+        assert row["dataset"] == "demo"
+        # Budget 0.05 with baseline 0.93: the 0.88 design (area 0.6) is
+        # the smallest admissible one.
+        assert row["accuracy"] == 0.88 and row["area_cm2"] == 0.6
+        tight = queries.selection_row(record, max_accuracy_loss=0.01)
+        assert tight["accuracy"] == 0.92
+
+    def test_front_rows_are_nondominated(self, store):
+        rows = queries.front_rows(store.get_dataset("demo"))
+        assert [row["area_cm2"] for row in rows] == sorted(
+            row["area_cm2"] for row in rows
+        )
+        assert all(set(row) >= {"design", "test_accuracy", "fa_count"} for row in rows)
+
+    def test_fig5_rows_scale_voltage(self, store):
+        rows = queries.fig5_rows(store.get_dataset("demo"))
+        names = [row["design"] for row in rows]
+        assert names == ["baseline_micro20", "tc23", "ours", "ours_0v6"]
+        ours = rows[2]
+        low = rows[3]
+        assert low["voltage"] == pytest.approx(0.6)
+        assert low["area_cm2"] == ours["area_cm2"]  # area is voltage-independent
+        assert low["power_mw"] < ours["power_mw"]
+
+    def test_fig4_rows_and_points(self, store):
+        rows = queries.fig4_rows(store.get_dataset("demo"))
+        assert [row["method"] for row in rows] == ["ours", "tc23", "date21"]
+        base_area = store.get_front("demo").baseline.area_cm2
+        assert rows[0]["norm_area"] == rows[0]["area_cm2"] / base_area
+        points = queries.fig4_point_rows(rows)
+        assert set(points[0]) == {
+            "dataset",
+            "method",
+            "accuracy",
+            "norm_area",
+            "norm_power",
+        }
+
+    def test_points_schemas_match_golden(self, store):
+        from repro.evaluation.artifacts import Artifact
+
+        for name, project, display, rows in (
+            (
+                "fig4_points",
+                queries.fig4_point_rows,
+                queries.FIG4_POINTS_DISPLAY,
+                queries.fig4_rows(store.get_dataset("demo")),
+            ),
+            (
+                "fig5_points",
+                queries.fig5_point_rows,
+                queries.FIG5_POINTS_DISPLAY,
+                queries.fig5_rows(store.get_dataset("demo")),
+            ),
+        ):
+            artifact = Artifact.build(
+                name, project(rows), scale="smoke", seed=0, datasets=("demo",),
+                display=display,
+            )
+            produced = {
+                "experiment": artifact.experiment,
+                "schema_version": artifact.schema_version,
+                "columns": sorted(artifact.columns),
+                "display": [list(pair) for pair in artifact.display],
+            }
+            golden = json.loads(
+                (GOLDEN_DIR / f"{name}.schema.json").read_text(encoding="utf-8")
+            )
+            assert produced == golden, f"{name} schema drifted"
+
+    def test_rtl_resolution(self, store):
+        record = store.get_dataset("demo")
+        selected = queries.select(record).name
+        assert queries.resolve_rtl_design(record) == selected
+        with pytest.raises(StoreError, match="no design"):
+            queries.resolve_rtl_design(record, design="nope")
+
+
+# ---------------------------------------------------------------------------
+# The async service
+# ---------------------------------------------------------------------------
+
+
+class TestParetoService:
+    def test_stampede_one_store_read(self, store):
+        """64 identical concurrent queries => exactly one store read."""
+        loads = {"n": 0}
+        real = store.get_dataset
+
+        def counting(dataset):
+            loads["n"] += 1
+            return real(dataset)
+
+        store.get_dataset = counting
+        service = ParetoService(store)
+
+        async def flood():
+            return await asyncio.gather(*(service.select("demo") for _ in range(64)))
+
+        results = asyncio.run(flood())
+        assert loads["n"] == 1
+        assert service.store_loads == 1
+        assert len(results) == 64 and all(r == results[0] for r in results)
+        metrics = service.metrics()["operations"]["select"]
+        assert metrics["requests"] == 64
+        assert metrics["coalesced"] == 63
+
+    def test_mixed_ops_share_one_record_load(self, store):
+        loads = {"n": 0}
+        real = store.get_dataset
+
+        def counting(dataset):
+            loads["n"] += 1
+            return real(dataset)
+
+        store.get_dataset = counting
+        service = ParetoService(store)
+
+        async def battery():
+            await asyncio.gather(
+                service.select("demo"),
+                service.front("demo"),
+                service.feasibility("demo"),
+                service.rtl("demo"),
+            )
+
+        asyncio.run(battery())
+        assert loads["n"] == 1
+
+    def test_rtl_and_errors(self, store):
+        service = ParetoService(store)
+        rtl = asyncio.run(service.rtl("demo"))
+        assert rtl["verilog"].startswith("module ")
+        with pytest.raises(StoreError):
+            asyncio.run(service.select("missing"))
+        assert service.metrics()["operations"]["select"]["errors"] == 1
+
+    def test_latency_metrics_populated(self, store):
+        service = ParetoService(store)
+        asyncio.run(service.front("demo"))
+        summary = service.metrics()["operations"]["front"]
+        assert summary["requests"] == 1
+        assert summary["p50_seconds"] is not None and summary["p50_seconds"] >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: session publish -> warm-store queries, zero search stages
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def published(tmp_path_factory):
+    """A tiny fig4+fig5 session run published into a store."""
+    from repro.experiments.config import ExperimentScale
+    from repro.experiments.session import ExperimentSession
+
+    scale = ExperimentScale(
+        name="tiny-serving",
+        datasets=("breast_cancer",),
+        max_samples=200,
+        gradient_epochs=30,
+        gradient_restarts=1,
+        ga_population=16,
+        ga_generations=6,
+        max_front_designs=6,
+        seed=0,
+    )
+    out = tmp_path_factory.mktemp("serve_e2e")
+    session = ExperimentSession(scale)
+    artifacts = session.run(["fig4", "fig5"], export_dir=out)
+    return session, artifacts, out
+
+
+class TestWarmStoreParity:
+    def test_store_published_with_rtl_and_points(self, published):
+        _, _, out = published
+        store = DesignStore(out / "store")
+        assert store.datasets() == ["breast_cancer"]
+        record = store.get_dataset("breast_cancer")
+        assert record.tc23 is not None and record.methods is not None
+        assert len(record.rtl_designs) == len(record.front.designs) > 0
+        for name in ("fig4_points", "fig5_points"):
+            assert (out / f"{name}.json").is_file()
+            assert (out / f"{name}.csv").is_file()
+
+    def test_warm_queries_match_artifacts_without_search(self, published, monkeypatch):
+        session, artifacts, out = published
+        from repro.core import islands, trainer
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("search stage executed during a warm-store query")
+
+        monkeypatch.setattr(trainer.GATrainer, "train", forbidden)
+        monkeypatch.setattr(islands.IslandGATrainer, "train", forbidden)
+
+        service = ParetoService(DesignStore(out / "store"))
+
+        async def battery():
+            select = await service.select("breast_cancer")
+            front = await service.front("breast_cancer")
+            feas = await service.feasibility("breast_cancer")
+            rtl = await service.rtl("breast_cancer")
+            fig4_points = await service.points("fig4")
+            return select, front, feas, rtl, fig4_points
+
+        select, front, feas, rtl, fig4_points = asyncio.run(battery())
+        assert [dict(row) for row in artifacts["fig5"].rows] == feas
+        table_row = next(
+            row for row in artifacts["fig4"].rows if row["method"] == "ours"
+        )
+        assert select["accuracy"] == table_row["accuracy"]
+        assert select["area_cm2"] == table_row["area_cm2"]
+        assert front and rtl["verilog"].startswith("//")
+        from repro.evaluation.artifacts import Artifact
+
+        exported = Artifact.from_json((out / "fig4_points.json").read_text())
+        assert [dict(row) for row in exported.rows] == fig4_points
+
+    def test_cli_battery_is_pure(self, published):
+        """The CLI answers under --assert-pure against the real store."""
+        _, _, out = published
+        queries_jsonl = "\n".join(
+            json.dumps(query)
+            for query in (
+                {"op": "datasets"},
+                {"op": "select", "dataset": "breast_cancer"},
+                {"op": "front", "dataset": "breast_cancer"},
+                {"op": "feasibility", "dataset": "breast_cancer"},
+                {"op": "rtl", "dataset": "breast_cancer"},
+                {"op": "points", "experiment": "fig5"},
+            )
+        )
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.serving",
+                "--store",
+                str(out / "store"),
+                "--assert-pure",
+                "batch",
+            ],
+            input=queries_jsonl,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        answers = [json.loads(line) for line in result.stdout.splitlines()]
+        assert len(answers) == 6 and all(a["ok"] for a in answers)
+        assert "[purity] serving import graph clean" in result.stderr
