@@ -12,6 +12,8 @@ The package is organized bottom-up:
 * :mod:`repro.hardware`   — FA-count area model, printed EGFET library,
   analytical synthesis, gate-level netlists, printed power sources,
 * :mod:`repro.rtl`        — Verilog generation for the bespoke circuits,
+* :mod:`repro.eda`        — Verilog-semantics simulation oracle plus the
+  feature-detected iverilog/yosys cross-check flow,
 * :mod:`repro.core`       — NSGA-II based hardware-aware training,
 * :mod:`repro.baselines`  — gradient training, the exact bespoke baseline
   and the TC'23 / TCAD'23 / DATE'21 comparators,
@@ -56,6 +58,7 @@ _SUBMODULES = (
     "baselines",
     "core",
     "datasets",
+    "eda",
     "evaluation",
     "experiments",
     "hardware",

@@ -116,8 +116,10 @@ _MISSING = object()
 #: snapshots are then ignored (never mis-read) by :meth:`EvaluationCache.load`.
 #: Version 2 stores each entry as a ``(key, value, last_used)`` triple
 #: so snapshot compaction can age entries across process restarts.
+#: Version 3 invalidates version-2 snapshots because pickled
+#: ``DesignVerification`` reports gained the EDA-oracle fields.
 _SNAPSHOT_MAGIC = "repro-evaluation-cache"
-CACHE_FORMAT_VERSION = 2
+CACHE_FORMAT_VERSION = 3
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,110 @@
+"""CLI for the EDA cross-check flow.
+
+Usage::
+
+    python -m repro.eda --store store/
+    python -m repro.eda --store store/ --dataset redwine --max-designs 4
+    python -m repro.eda --store store/ --require-tools --out BENCH_eda.json
+
+Walks the RTL records of a published design store, re-simulates every
+module text against its testbench golden vectors with the pure-Python
+microverilog oracle, and — when ``iverilog``/``yosys`` are installed —
+additionally runs the real simulation and synthesis flows (see
+:mod:`repro.eda.report`).  ``--out`` writes the report as an Artifact
+JSON (the CI job uploads it as ``BENCH_eda.json``).
+
+Exit codes: 0 — every oracle that ran agreed on every design;
+1 — at least one mismatch; 2 — ``--require-tools`` was given but a
+tool is missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.eda import tools
+from repro.eda.report import cross_check_store
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the store cross-check and print a per-design table."""
+    parser = argparse.ArgumentParser(prog="python -m repro.eda", description=__doc__)
+    parser.add_argument(
+        "--store",
+        required=True,
+        help="published design-store directory (runner.py --store-dir)",
+    )
+    parser.add_argument(
+        "--dataset",
+        action="append",
+        default=None,
+        help="dataset to check (repeatable; default: every published dataset)",
+    )
+    parser.add_argument(
+        "--max-designs",
+        type=int,
+        default=None,
+        help="per-dataset cap on checked designs (front order)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the report as Artifact JSON to this path",
+    )
+    parser.add_argument(
+        "--require-tools",
+        action="store_true",
+        help=(
+            "fail (exit 2) unless iverilog and yosys are both installed — "
+            "the CI cross-check job must not silently degrade to the "
+            "microverilog-only flow"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.max_designs is not None and args.max_designs <= 0:
+        parser.error("--max-designs must be positive")
+
+    if args.require_tools and not (tools.have_iverilog() and tools.have_yosys()):
+        missing = [
+            name
+            for name, present in (
+                ("iverilog", tools.have_iverilog()),
+                ("yosys", tools.have_yosys()),
+            )
+            if not present
+        ]
+        print(f"[eda] required tools missing: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    for name in ("iverilog", "yosys"):
+        info = tools.find_tool(name)
+        if info is not None:
+            print(f"[eda] {name}: {info.path} ({info.version or 'version unknown'})")
+        else:
+            print(f"[eda] {name}: not found (skipping its flow)")
+
+    check = cross_check_store(
+        args.store, datasets=args.dataset, max_designs=args.max_designs
+    )
+    artifact = check.artifact()
+    print(artifact.format())
+    print(
+        f"[eda] {check.num_designs} design(s): "
+        f"microverilog {check.micro_failures} failure(s), "
+        f"iverilog {check.iverilog_failures if check.used_iverilog else 'skipped'}"
+        f"{'' if check.used_iverilog else ' (tool absent)'}, "
+        f"yosys {'ran' if check.used_yosys else 'skipped (tool absent)'}"
+    )
+    if args.out is not None:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(artifact.to_json() + "\n", encoding="utf-8")
+        print(f"[eda] wrote {out}")
+    return 0 if check.passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

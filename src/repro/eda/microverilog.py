@@ -1,0 +1,1061 @@
+"""A pure-Python structural-Verilog-subset parser and simulator.
+
+The in-process verification harness (:mod:`repro.evaluation.verification`)
+is four-way differential, but every one of its oracles shares Python
+semantics — the emitted module text had never been *parsed and executed
+as Verilog*.  This module closes that gap without any external tool: it
+implements exactly the Verilog-2001 subset that
+:func:`repro.rtl.verilog.generate_mlp_verilog` emits —
+
+* ``module``/``endmodule`` with ANSI port declarations,
+* ``wire [signed] [msb:lsb] name [= expr];`` and ``assign name = expr;``,
+* ``localparam [integer|[msb:lsb]] name = const;``,
+* ``reg``/``integer`` declarations,
+* one-pass combinational ``always @*`` blocks with blocking assignments
+  and ``if``/``else`` chains (the behavioural argmax),
+* expressions over ``+ - & | ^ << >> >>> < <= > >= == != ?: ~ !``,
+  sized/unsized literals, bit/part-selects and concatenations —
+
+with the *bit-true width and signedness rules of the language*, not of
+Python: context-determined operand sizing, signed-iff-all-operands-signed
+propagation, two's-complement truncation on assignment, arithmetic
+versus logical right shift, and unsigned self-determined part-selects.
+That independence is the point: a generator bug that slips through the
+Python oracles (a mis-sized wire, a dropped ``signed``, an illegal
+expression part-select) changes the *Verilog* meaning of the text and is
+caught here, the same way iverilog would catch it in a real EDA flow.
+
+Evaluation is vectorized over the stimulus batch: every net carries an
+``(n_vectors,)`` int64 array of bit patterns, ``if`` statements merge
+lanes with boolean masks, and continuous assignments are topologically
+ordered, so one :meth:`MicroVerilogModule.evaluate` call simulates all
+testbench vectors at once.  Declared widths are capped at
+:data:`MAX_WIDTH` bits so int64 bit patterns stay exact.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MAX_WIDTH",
+    "MicroVerilogError",
+    "MicroVerilogModule",
+    "Port",
+    "parse_module",
+    "simulate_mlp_module",
+]
+
+#: Largest declared (or context) bit width the simulator accepts; keeps
+#: every bit pattern exactly representable in a non-negative int64.
+MAX_WIDTH = 62
+
+
+class MicroVerilogError(ValueError):
+    """The text is outside the supported subset, malformed, or uses a
+    width/feature the simulator cannot evaluate exactly."""
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*|/\*.*?\*/)
+  | (?P<based>(?P<size>\d+)?\s*'(?P<signed>[sS])?(?P<base>[bodhBODH])(?P<digits>[0-9a-fA-F_xzXZ?]+))
+  | (?P<dec>\d[\d_]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_$]*)
+  | (?P<op><<<|>>>|<<|>>|<=|>=|==|!=|&&|\|\||[-+*&|^~!<>?:=;,().\[\]{}@#])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_BASES = {"b": 2, "o": 8, "d": 10, "h": 16}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "num" | "ident" | "op"
+    text: str
+    #: For "num": (value, width, signed, sized)
+    number: Optional[Tuple[int, int, bool, bool]] = None
+    position: int = 0
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            snippet = text[position : position + 20]
+            raise MicroVerilogError(f"unrecognized Verilog at {snippet!r}")
+        position = match.end()
+        if match.group("ws"):
+            continue
+        if match.group("based"):
+            digits = match.group("digits").replace("_", "")
+            if re.search(r"[xzXZ?]", digits):
+                raise MicroVerilogError(
+                    f"4-state value {match.group(0)!r} is unsupported"
+                )
+            base = _BASES[match.group("base").lower()]
+            value = int(digits, base)
+            size = match.group("size")
+            signed = match.group("signed") is not None
+            width = int(size) if size else 32
+            if width <= 0:
+                raise MicroVerilogError(f"zero-width literal {match.group(0)!r}")
+            if value >> width:
+                raise MicroVerilogError(
+                    f"literal {match.group(0)!r} does not fit in {width} bits"
+                )
+            tokens.append(
+                _Token("num", match.group(0), (value, width, signed, True), match.start())
+            )
+        elif match.group("dec"):
+            value = int(match.group("dec").replace("_", ""))
+            # Unsized decimal literals are signed and at least 32 bits wide.
+            width = max(32, value.bit_length() + 1)
+            tokens.append(
+                _Token("num", match.group(0), (value, width, True, False), match.start())
+            )
+        elif match.group("ident"):
+            tokens.append(_Token("ident", match.group(0), position=match.start()))
+        else:
+            tokens.append(_Token("op", match.group("op"), position=match.start()))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Expression AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Literal:
+    value: int
+    width: int
+    signed: bool
+
+
+@dataclass(frozen=True)
+class _Ident:
+    name: str
+
+
+@dataclass(frozen=True)
+class _Select:
+    """Bit/part-select ``name[msb:lsb]`` (``msb == lsb`` for a bit-select)."""
+
+    name: str
+    msb: int
+    lsb: int
+
+
+@dataclass(frozen=True)
+class _Concat:
+    parts: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class _Unary:
+    op: str
+    operand: object
+
+
+@dataclass(frozen=True)
+class _Binary:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class _Ternary:
+    condition: object
+    if_true: object
+    if_false: object
+
+
+_COMPARISONS = {"<", "<=", ">", ">=", "==", "!="}
+_SHIFTS = {"<<", ">>", ">>>"}
+_ARITH = {"+", "-", "*", "&", "|", "^"}
+
+#: Binary operators by descending precedence tier (Verilog-2001 order
+#: restricted to the supported subset).
+_PRECEDENCE: Tuple[Tuple[str, ...], ...] = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>", ">>>"),
+    ("+", "-"),
+    ("*",),
+)
+
+
+# ---------------------------------------------------------------------------
+# Module structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Port:
+    """One ANSI module port."""
+
+    name: str
+    direction: str  # "input" | "output"
+    width: int
+    signed: bool
+
+
+@dataclass(frozen=True)
+class _Signal:
+    name: str
+    width: int
+    signed: bool
+    kind: str  # "input" | "wire" | "reg" | "localparam"
+
+
+@dataclass(frozen=True)
+class _AssignNode:
+    """A continuous assignment (wire initializer or ``assign``)."""
+
+    target: str
+    expression: object
+
+
+@dataclass(frozen=True)
+class _IfStatement:
+    condition: object
+    then_body: Tuple[object, ...]
+    else_body: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class _BlockingAssign:
+    target: str
+    expression: object
+
+
+@dataclass(frozen=True)
+class _AlwaysNode:
+    statements: Tuple[object, ...]
+    #: Registers this block assigns (the nets it drives).
+    writes: Tuple[str, ...]
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------
+    def peek(self) -> Optional[_Token]:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise MicroVerilogError("unexpected end of module text")
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.next()
+        if token.text != text:
+            raise MicroVerilogError(f"expected {text!r}, got {token.text!r}")
+        return token
+
+    def accept(self, text: str) -> bool:
+        token = self.peek()
+        if token is not None and token.text == text:
+            self.index += 1
+            return True
+        return False
+
+    def expect_ident(self) -> str:
+        token = self.next()
+        if token.kind != "ident":
+            raise MicroVerilogError(f"expected an identifier, got {token.text!r}")
+        return token.text
+
+    # -- constant expressions ------------------------------------------
+    def _const(self, expression: object, localparams: Dict[str, _Literal]) -> int:
+        if isinstance(expression, _Literal):
+            return expression.value
+        if isinstance(expression, _Ident) and expression.name in localparams:
+            return localparams[expression.name].value
+        if isinstance(expression, _Unary) and expression.op == "-":
+            return -self._const(expression.operand, localparams)
+        if isinstance(expression, _Binary) and expression.op in ("+", "-", "*"):
+            left = self._const(expression.left, localparams)
+            right = self._const(expression.right, localparams)
+            if expression.op == "+":
+                return left + right
+            if expression.op == "-":
+                return left - right
+            return left * right
+        raise MicroVerilogError("expected a constant expression")
+
+    # -- declarations --------------------------------------------------
+    def parse_range(self, localparams: Dict[str, _Literal]) -> Optional[Tuple[int, int]]:
+        """``[msb:lsb]`` if present; ``None`` for a scalar declaration."""
+        if not self.accept("["):
+            return None
+        msb = self._const(self.parse_expression(), localparams)
+        self.expect(":")
+        lsb = self._const(self.parse_expression(), localparams)
+        self.expect("]")
+        if lsb != 0 or msb < 0:
+            raise MicroVerilogError(f"unsupported range [{msb}:{lsb}] (need [N:0])")
+        return msb, lsb
+
+    # -- expressions ---------------------------------------------------
+    def parse_expression(self) -> object:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> object:
+        condition = self._parse_binary(0)
+        if not self.accept("?"):
+            return condition
+        if_true = self._parse_ternary()
+        self.expect(":")
+        if_false = self._parse_ternary()
+        return _Ternary(condition, if_true, if_false)
+
+    def _parse_binary(self, tier: int) -> object:
+        if tier >= len(_PRECEDENCE):
+            return self._parse_unary()
+        left = self._parse_binary(tier + 1)
+        operators = _PRECEDENCE[tier]
+        while True:
+            token = self.peek()
+            if token is None or token.kind != "op" or token.text not in operators:
+                return left
+            self.index += 1
+            right = self._parse_binary(tier + 1)
+            left = _Binary(token.text, left, right)
+
+    def _parse_unary(self) -> object:
+        token = self.peek()
+        if token is not None and token.kind == "op" and token.text in ("-", "~", "!", "+"):
+            self.index += 1
+            operand = self._parse_unary()
+            if token.text == "+":
+                return operand
+            return _Unary(token.text, operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> object:
+        token = self.next()
+        if token.kind == "num":
+            value, width, signed, _ = token.number  # type: ignore[misc]
+            return _Literal(value, width, signed)
+        if token.text == "(":
+            inner = self.parse_expression()
+            self.expect(")")
+            return inner
+        if token.text == "{":
+            parts = [self.parse_expression()]
+            while self.accept(","):
+                parts.append(self.parse_expression())
+            self.expect("}")
+            return _Concat(tuple(parts))
+        if token.kind == "ident":
+            if self.accept("["):
+                msb = self._const(self.parse_expression(), {})
+                if self.accept(":"):
+                    lsb = self._const(self.parse_expression(), {})
+                else:
+                    lsb = msb
+                self.expect("]")
+                if lsb < 0 or msb < lsb:
+                    raise MicroVerilogError(
+                        f"unsupported select {token.text}[{msb}:{lsb}]"
+                    )
+                return _Select(token.text, msb, lsb)
+            return _Ident(token.text)
+        raise MicroVerilogError(f"unexpected token {token.text!r} in expression")
+
+    # -- statements ----------------------------------------------------
+    def parse_statement(self) -> object:
+        if self.accept("begin"):
+            body: List[object] = []
+            while not self.accept("end"):
+                body.append(self.parse_statement())
+            return _IfStatement(_Literal(1, 1, False), tuple(body), ())
+        if self.accept("if"):
+            self.expect("(")
+            condition = self.parse_expression()
+            self.expect(")")
+            then_statement = self.parse_statement()
+            else_body: Tuple[object, ...] = ()
+            if self.accept("else"):
+                else_body = (self.parse_statement(),)
+            return _IfStatement(condition, (then_statement,), else_body)
+        target = self.expect_ident()
+        self.expect("=")
+        expression = self.parse_expression()
+        self.expect(";")
+        return _BlockingAssign(target, expression)
+
+
+def _statement_writes(statement: object, into: List[str]) -> None:
+    if isinstance(statement, _BlockingAssign):
+        into.append(statement.target)
+    elif isinstance(statement, _IfStatement):
+        for child in statement.then_body + statement.else_body:
+            _statement_writes(child, into)
+
+
+def _expression_reads(expression: object, into: List[str]) -> None:
+    if isinstance(expression, _Ident):
+        into.append(expression.name)
+    elif isinstance(expression, _Select):
+        into.append(expression.name)
+    elif isinstance(expression, _Concat):
+        for part in expression.parts:
+            _expression_reads(part, into)
+    elif isinstance(expression, _Unary):
+        _expression_reads(expression.operand, into)
+    elif isinstance(expression, _Binary):
+        _expression_reads(expression.left, into)
+        _expression_reads(expression.right, into)
+    elif isinstance(expression, _Ternary):
+        _expression_reads(expression.condition, into)
+        _expression_reads(expression.if_true, into)
+        _expression_reads(expression.if_false, into)
+
+
+def _statement_reads(statement: object, into: List[str]) -> None:
+    if isinstance(statement, _BlockingAssign):
+        _expression_reads(statement.expression, into)
+    elif isinstance(statement, _IfStatement):
+        _expression_reads(statement.condition, into)
+        for child in statement.then_body + statement.else_body:
+            _statement_reads(child, into)
+
+
+# ---------------------------------------------------------------------------
+# Width / signedness resolution (simplified Verilog-2001 rules)
+# ---------------------------------------------------------------------------
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+class _Evaluator:
+    """Evaluates expressions over the module's symbol table.
+
+    Values are ``(n_vectors,)`` int64 arrays of non-negative *bit
+    patterns*; interpretation (two's complement or unsigned) happens
+    only where the language requires it — comparisons, arithmetic right
+    shifts — so truncation-on-assignment and wraparound arithmetic come
+    out exactly as a Verilog simulator would produce them.
+    """
+
+    def __init__(self, signals: Dict[str, _Signal], n_vectors: int) -> None:
+        self.signals = signals
+        self.n = n_vectors
+        self.state: Dict[str, np.ndarray] = {}
+
+    # -- self-determined width and signedness --------------------------
+    def self_width(self, expression: object) -> int:
+        if isinstance(expression, _Literal):
+            return expression.width
+        if isinstance(expression, _Ident):
+            return self._signal(expression.name).width
+        if isinstance(expression, _Select):
+            return expression.msb - expression.lsb + 1
+        if isinstance(expression, _Concat):
+            return sum(self.self_width(part) for part in expression.parts)
+        if isinstance(expression, _Unary):
+            if expression.op == "!":
+                return 1
+            return self.self_width(expression.operand)
+        if isinstance(expression, _Binary):
+            if expression.op in _COMPARISONS or expression.op in ("&&", "||"):
+                return 1
+            if expression.op in _SHIFTS:
+                return self.self_width(expression.left)
+            return max(self.self_width(expression.left), self.self_width(expression.right))
+        if isinstance(expression, _Ternary):
+            return max(self.self_width(expression.if_true), self.self_width(expression.if_false))
+        raise MicroVerilogError(f"cannot size expression {expression!r}")
+
+    def self_signed(self, expression: object) -> bool:
+        if isinstance(expression, _Literal):
+            return expression.signed
+        if isinstance(expression, _Ident):
+            return self._signal(expression.name).signed
+        if isinstance(expression, (_Select, _Concat)):
+            return False
+        if isinstance(expression, _Unary):
+            if expression.op == "!":
+                return False
+            return self.self_signed(expression.operand)
+        if isinstance(expression, _Binary):
+            if expression.op in _COMPARISONS or expression.op in ("&&", "||"):
+                return False
+            if expression.op in _SHIFTS:
+                return self.self_signed(expression.left)
+            return self.self_signed(expression.left) and self.self_signed(expression.right)
+        if isinstance(expression, _Ternary):
+            return self.self_signed(expression.if_true) and self.self_signed(
+                expression.if_false
+            )
+        raise MicroVerilogError(f"cannot sign expression {expression!r}")
+
+    # -- evaluation ----------------------------------------------------
+    def _signal(self, name: str) -> _Signal:
+        try:
+            return self.signals[name]
+        except KeyError:
+            raise MicroVerilogError(f"reference to undeclared identifier {name!r}") from None
+
+    def _value(self, name: str) -> np.ndarray:
+        if name not in self.state:
+            raise MicroVerilogError(
+                f"identifier {name!r} read before any driver ran (combinational "
+                "cycle or undriven net)"
+            )
+        return self.state[name]
+
+    def _as_signed(self, pattern: np.ndarray, width: int) -> np.ndarray:
+        sign_bit = np.int64(1) << np.int64(width - 1)
+        return np.where(pattern & sign_bit, pattern - (np.int64(1) << np.int64(width)), pattern)
+
+    def _extend(
+        self, pattern: np.ndarray, from_width: int, from_signed: bool, to_width: int, to_signed: bool
+    ) -> np.ndarray:
+        """Convert a ``from_width`` pattern to the context's width/signedness."""
+        if to_width <= from_width:
+            return pattern & np.int64(_mask(to_width))
+        # Sign-extension applies only when the whole expression is signed
+        # (in which case every context-determined operand is signed too).
+        if to_signed and from_signed:
+            sign_bit = np.int64(1) << np.int64(from_width - 1)
+            extension = np.int64(_mask(to_width) ^ _mask(from_width))
+            return np.where(pattern & sign_bit, pattern | extension, pattern)
+        return pattern
+
+    def _check_width(self, width: int) -> int:
+        if width > MAX_WIDTH:
+            raise MicroVerilogError(
+                f"expression width {width} exceeds the supported {MAX_WIDTH} bits"
+            )
+        if width <= 0:
+            raise MicroVerilogError(f"non-positive expression width {width}")
+        return width
+
+    def evaluate_self(self, expression: object) -> np.ndarray:
+        """Evaluate in the expression's own (self-determined) context."""
+        return self.evaluate(
+            expression, self.self_width(expression), self.self_signed(expression)
+        )
+
+    def evaluate(self, expression: object, width: int, signed: bool) -> np.ndarray:
+        """Evaluate to a bit pattern of ``width`` bits (context-determined)."""
+        self._check_width(width)
+        mask = np.int64(_mask(width))
+        if isinstance(expression, _Literal):
+            if expression.value >> width:
+                raise MicroVerilogError(
+                    f"literal {expression.value} does not fit in {width} bits"
+                )
+            return np.full(self.n, np.int64(expression.value))
+        if isinstance(expression, _Ident):
+            signal = self._signal(expression.name)
+            return self._extend(
+                self._value(expression.name), signal.width, signal.signed, width, signed
+            )
+        if isinstance(expression, _Select):
+            signal = self._signal(expression.name)
+            if expression.msb >= signal.width:
+                raise MicroVerilogError(
+                    f"select {expression.name}[{expression.msb}:{expression.lsb}] "
+                    f"exceeds the declared width {signal.width}"
+                )
+            selected = (self._value(expression.name) >> np.int64(expression.lsb)) & np.int64(
+                _mask(expression.msb - expression.lsb + 1)
+            )
+            return self._extend(
+                selected, expression.msb - expression.lsb + 1, False, width, signed
+            )
+        if isinstance(expression, _Concat):
+            result = np.zeros(self.n, dtype=np.int64)
+            for part in expression.parts:
+                part_width = self._check_width(self.self_width(part))
+                result = ((result << np.int64(part_width)) & mask) | self.evaluate_self(part)
+            return result & mask
+        if isinstance(expression, _Unary):
+            if expression.op == "!":
+                operand = self.evaluate_self(expression.operand)
+                return (operand == 0).astype(np.int64)
+            operand = self.evaluate(expression.operand, width, signed)
+            if expression.op == "-":
+                return (-operand) & mask
+            return (~operand) & mask  # "~"
+        if isinstance(expression, _Binary):
+            return self._binary(expression, width, signed, mask)
+        if isinstance(expression, _Ternary):
+            condition = self.evaluate_self(expression.condition) != 0
+            if_true = self.evaluate(expression.if_true, width, signed)
+            if_false = self.evaluate(expression.if_false, width, signed)
+            return np.where(condition, if_true, if_false)
+        raise MicroVerilogError(f"cannot evaluate expression {expression!r}")
+
+    def _binary(
+        self, expression: _Binary, width: int, signed: bool, mask: np.int64
+    ) -> np.ndarray:
+        op = expression.op
+        if op in ("&&", "||"):
+            left = self.evaluate_self(expression.left) != 0
+            right = self.evaluate_self(expression.right) != 0
+            merged = np.logical_and(left, right) if op == "&&" else np.logical_or(left, right)
+            return merged.astype(np.int64)
+        if op in _COMPARISONS:
+            # Operands are sized to the larger of the two and compared
+            # signed only when *both* are signed.
+            operand_width = self._check_width(
+                max(self.self_width(expression.left), self.self_width(expression.right))
+            )
+            operand_signed = self.self_signed(expression.left) and self.self_signed(
+                expression.right
+            )
+            left = self.evaluate(expression.left, operand_width, operand_signed)
+            right = self.evaluate(expression.right, operand_width, operand_signed)
+            if operand_signed:
+                left = self._as_signed(left, operand_width)
+                right = self._as_signed(right, operand_width)
+            compare = {
+                "<": np.less,
+                "<=": np.less_equal,
+                ">": np.greater,
+                ">=": np.greater_equal,
+                "==": np.equal,
+                "!=": np.not_equal,
+            }[op]
+            return compare(left, right).astype(np.int64)
+        if op in _SHIFTS:
+            left = self.evaluate(expression.left, width, signed)
+            amount = self.evaluate_self(expression.right)
+            if np.any(amount < 0):
+                raise MicroVerilogError("negative shift amount")
+            clipped = np.minimum(amount, np.int64(width))
+            if op == "<<":
+                kept = left & (mask >> clipped)
+                return np.where(amount >= width, np.int64(0), (kept << clipped) & mask)
+            if op == ">>>" and signed:
+                values = self._as_signed(left, width)
+                shifted = values >> clipped
+                floor = np.where(values < 0, np.int64(-1), np.int64(0))
+                return np.where(amount >= width, floor, shifted) & mask
+            return np.where(amount >= width, np.int64(0), left >> clipped)
+        left = self.evaluate(expression.left, width, signed)
+        right = self.evaluate(expression.right, width, signed)
+        if op == "+":
+            return (left + right) & mask
+        if op == "-":
+            return (left - right) & mask
+        if op == "*":
+            if 2 * width > 63:
+                raise MicroVerilogError(
+                    f"multiplication at width {width} may overflow the simulator"
+                )
+            return (left * right) & mask
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        raise MicroVerilogError(f"unsupported operator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# The module
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MicroVerilogModule:
+    """A parsed module, ready for vectorized evaluation."""
+
+    name: str
+    ports: Tuple[Port, ...]
+    signals: Dict[str, _Signal]
+    localparams: Dict[str, _Literal]
+    #: Continuous assignments and always blocks, topologically ordered.
+    nodes: Tuple[object, ...] = field(default_factory=tuple)
+
+    @property
+    def inputs(self) -> Tuple[Port, ...]:
+        """Input ports, in declaration order."""
+        return tuple(port for port in self.ports if port.direction == "input")
+
+    @property
+    def outputs(self) -> Tuple[Port, ...]:
+        """Output ports, in declaration order."""
+        return tuple(port for port in self.ports if port.direction == "output")
+
+    def evaluate(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Evaluate the module combinationally on a stimulus batch.
+
+        Parameters
+        ----------
+        inputs:
+            ``{port name: (n_vectors,) integer array}`` for every input
+            port.  Values must be in the port's unsigned range.
+
+        Returns
+        -------
+        ``{port name: (n_vectors,) int64 array}`` for every output port.
+        """
+        declared = {port.name for port in self.inputs}
+        provided = set(inputs)
+        if declared != provided:
+            raise MicroVerilogError(
+                f"stimulus keys {sorted(provided)} do not match the module's "
+                f"input ports {sorted(declared)}"
+            )
+        lengths = {np.asarray(values).shape for values in inputs.values()}
+        if len(lengths) > 1:
+            raise MicroVerilogError(f"ragged stimulus shapes {sorted(lengths)}")
+        n = next(iter(lengths))[0] if lengths else 0
+
+        evaluator = _Evaluator(self.signals, n)
+        for name, literal in self.localparams.items():
+            evaluator.state[name] = np.full(n, np.int64(literal.value))
+        for port in self.inputs:
+            values = np.asarray(inputs[port.name], dtype=np.int64)
+            if values.ndim != 1:
+                raise MicroVerilogError(
+                    f"stimulus for {port.name!r} must be one-dimensional"
+                )
+            if np.any(values < 0) or np.any(values > _mask(port.width)):
+                raise MicroVerilogError(
+                    f"stimulus for {port.name!r} outside its {port.width}-bit range"
+                )
+            evaluator.state[port.name] = values
+
+        for node in self.nodes:
+            if isinstance(node, _AssignNode):
+                signal = evaluator._signal(node.target)
+                context_width = max(signal.width, evaluator.self_width(node.expression))
+                value = evaluator.evaluate(
+                    node.expression,
+                    context_width,
+                    evaluator.self_signed(node.expression),
+                )
+                evaluator.state[node.target] = value & np.int64(_mask(signal.width))
+            else:  # _AlwaysNode
+                lanes = np.ones(n, dtype=bool)
+                for statement in node.statements:
+                    self._execute(evaluator, statement, lanes)
+
+        results: Dict[str, np.ndarray] = {}
+        for port in self.outputs:
+            results[port.name] = evaluator._value(port.name)
+        return results
+
+    def _execute(self, evaluator: _Evaluator, statement: object, lanes: np.ndarray) -> None:
+        if isinstance(statement, _BlockingAssign):
+            signal = evaluator._signal(statement.target)
+            if signal.kind not in ("reg", "integer"):
+                raise MicroVerilogError(
+                    f"procedural assignment to non-reg {statement.target!r}"
+                )
+            context_width = max(signal.width, evaluator.self_width(statement.expression))
+            value = evaluator.evaluate(
+                statement.expression,
+                context_width,
+                evaluator.self_signed(statement.expression),
+            ) & np.int64(_mask(signal.width))
+            previous = evaluator.state.get(statement.target)
+            if previous is None:
+                previous = np.zeros(evaluator.n, dtype=np.int64)
+            evaluator.state[statement.target] = np.where(lanes, value, previous)
+        elif isinstance(statement, _IfStatement):
+            condition = evaluator.evaluate_self(statement.condition) != 0
+            for child in statement.then_body:
+                self._execute(evaluator, child, lanes & condition)
+            for child in statement.else_body:
+                self._execute(evaluator, child, lanes & ~condition)
+        else:
+            raise MicroVerilogError(f"unsupported statement {statement!r}")
+
+
+# ---------------------------------------------------------------------------
+# Module parsing
+# ---------------------------------------------------------------------------
+
+
+def _width_from_range(range_: Optional[Tuple[int, int]]) -> int:
+    if range_ is None:
+        return 1
+    return range_[0] - range_[1] + 1
+
+
+def parse_module(text: str) -> MicroVerilogModule:
+    """Parse one module of the supported structural subset.
+
+    Raises :class:`MicroVerilogError` on anything outside the subset —
+    loudly, never by skipping text it does not understand.
+    """
+    parser = _Parser(_tokenize(text))
+    parser.expect("module")
+    module_name = parser.expect_ident()
+
+    signals: Dict[str, _Signal] = {}
+    localparams: Dict[str, _Literal] = {}
+    ports: List[Port] = []
+
+    def declare(signal: _Signal) -> None:
+        if signal.name in signals:
+            raise MicroVerilogError(f"duplicate declaration of {signal.name!r}")
+        if signal.width > MAX_WIDTH:
+            raise MicroVerilogError(
+                f"declared width {signal.width} of {signal.name!r} exceeds the "
+                f"supported {MAX_WIDTH} bits"
+            )
+        signals[signal.name] = signal
+
+    # -- ANSI port list ------------------------------------------------
+    parser.expect("(")
+    while True:
+        token = parser.next()
+        if token.text not in ("input", "output"):
+            raise MicroVerilogError(f"expected a port direction, got {token.text!r}")
+        direction = token.text
+        kind = "input" if direction == "input" else "wire"
+        parser.accept("wire") or parser.accept("reg")
+        signed = parser.accept("signed")
+        range_ = parser.parse_range(localparams)
+        name = parser.expect_ident()
+        width = _width_from_range(range_)
+        ports.append(Port(name=name, direction=direction, width=width, signed=signed))
+        declare(_Signal(name=name, width=width, signed=signed, kind=kind))
+        if parser.accept(")"):
+            break
+        parser.expect(",")
+    parser.expect(";")
+
+    # -- body ----------------------------------------------------------
+    assigns: List[_AssignNode] = []
+    always_blocks: List[_AlwaysNode] = []
+    while True:
+        token = parser.peek()
+        if token is None:
+            raise MicroVerilogError("missing endmodule")
+        if parser.accept("endmodule"):
+            break
+        if parser.accept("wire"):
+            signed = parser.accept("signed")
+            range_ = parser.parse_range(localparams)
+            name = parser.expect_ident()
+            declare(_Signal(name, _width_from_range(range_), signed, "wire"))
+            if parser.accept("="):
+                assigns.append(_AssignNode(name, parser.parse_expression()))
+            parser.expect(";")
+        elif parser.accept("reg"):
+            signed = parser.accept("signed")
+            range_ = parser.parse_range(localparams)
+            name = parser.expect_ident()
+            declare(_Signal(name, _width_from_range(range_), signed, "reg"))
+            parser.expect(";")
+        elif parser.accept("integer"):
+            name = parser.expect_ident()
+            declare(_Signal(name, 32, True, "integer"))
+            parser.expect(";")
+        elif parser.accept("localparam"):
+            signed = False
+            width: Optional[int] = None
+            if parser.accept("integer"):
+                signed, width = True, 32
+            else:
+                signed = parser.accept("signed")
+                range_ = parser.parse_range(localparams)
+                if range_ is not None:
+                    width = _width_from_range(range_)
+            name = parser.expect_ident()
+            parser.expect("=")
+            value = parser._const(parser.parse_expression(), localparams)
+            parser.expect(";")
+            if width is None:
+                width = max(32, value.bit_length() + 1)
+                signed = True
+            if value < 0:
+                value &= _mask(width)
+            if value >> width:
+                raise MicroVerilogError(
+                    f"localparam {name!r} value {value} does not fit in {width} bits"
+                )
+            declare(_Signal(name, width, signed, "localparam"))
+            localparams[name] = _Literal(value, width, signed)
+        elif parser.accept("assign"):
+            name = parser.expect_ident()
+            parser.expect("=")
+            assigns.append(_AssignNode(name, parser.parse_expression()))
+            parser.expect(";")
+        elif parser.accept("always"):
+            parser.expect("@")
+            if not parser.accept("*"):
+                parser.expect("(")
+                parser.expect("*")
+                parser.expect(")")
+            statement = parser.parse_statement()
+            writes: List[str] = []
+            _statement_writes(statement, writes)
+            always_blocks.append(_AlwaysNode((statement,), tuple(dict.fromkeys(writes))))
+        else:
+            raise MicroVerilogError(f"unsupported module item at {token.text!r}")
+    if parser.peek() is not None:
+        raise MicroVerilogError(
+            f"trailing text after endmodule: {parser.peek().text!r}"
+        )
+
+    for assign in assigns:
+        if assign.target not in signals:
+            raise MicroVerilogError(f"assignment to undeclared net {assign.target!r}")
+
+    nodes = _order_nodes(assigns, always_blocks, signals)
+    return MicroVerilogModule(
+        name=module_name,
+        ports=tuple(ports),
+        signals=signals,
+        localparams=localparams,
+        nodes=nodes,
+    )
+
+
+def _order_nodes(
+    assigns: Sequence[_AssignNode],
+    always_blocks: Sequence[_AlwaysNode],
+    signals: Dict[str, _Signal],
+) -> Tuple[object, ...]:
+    """Topologically order the drivers (wires before their readers).
+
+    Driver-per-net uniqueness is enforced here too: two continuous
+    assignments to one net, or a net driven both by an ``assign`` and an
+    ``always`` block, is a (loud) error.
+    """
+    nodes: List[object] = list(assigns) + list(always_blocks)
+    driver_of: Dict[str, int] = {}
+    for index, node in enumerate(nodes):
+        targets = [node.target] if isinstance(node, _AssignNode) else list(node.writes)
+        for target in targets:
+            if target in driver_of:
+                raise MicroVerilogError(f"net {target!r} has multiple drivers")
+            driver_of[target] = index
+
+    dependencies: List[set] = []
+    for node in nodes:
+        reads: List[str] = []
+        if isinstance(node, _AssignNode):
+            _expression_reads(node.expression, reads)
+            writes = {node.target}
+        else:
+            for statement in node.statements:
+                _statement_reads(statement, reads)
+            writes = set(node.writes)
+        wanted = set()
+        for name in reads:
+            if name in writes:
+                continue  # an always block may read what it just wrote
+            producer = driver_of.get(name)
+            if producer is not None:
+                wanted.add(producer)
+            elif name not in signals:
+                raise MicroVerilogError(f"reference to undeclared identifier {name!r}")
+            elif signals[name].kind not in ("input", "localparam"):
+                raise MicroVerilogError(f"net {name!r} is never driven")
+        dependencies.append(wanted)
+
+    ordered: List[object] = []
+    placed = [False] * len(nodes)
+    satisfied: set = set()
+    remaining = len(nodes)
+    while remaining:
+        progressed = False
+        for index, node in enumerate(nodes):
+            if placed[index] or not dependencies[index] <= satisfied:
+                continue
+            ordered.append(node)
+            placed[index] = True
+            satisfied.add(index)
+            remaining -= 1
+            progressed = True
+        if not progressed:
+            cyclic = sorted(
+                target
+                for target, index in driver_of.items()
+                if not placed[index]
+            )
+            raise MicroVerilogError(f"combinational cycle through {cyclic}")
+    return tuple(ordered)
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry point for the generated MLP modules
+# ---------------------------------------------------------------------------
+
+
+def simulate_mlp_module(text: str, vectors: np.ndarray) -> np.ndarray:
+    """Execute a generated MLP module on integer input vectors.
+
+    Parses ``text`` (the output of
+    :func:`repro.rtl.verilog.generate_mlp_verilog`), applies each row of
+    ``vectors`` to the ``in0..inK`` ports and returns the
+    ``class_index`` output per vector — the fifth, Verilog-semantics
+    oracle of the differential verification harness.
+
+    Parameters
+    ----------
+    text:
+        Verilog module text (any module name).
+    vectors:
+        ``(n_vectors, num_inputs)`` integer stimulus.
+
+    Returns
+    -------
+    ``(n_vectors,)`` int64 predicted class indices.
+    """
+    module = parse_module(text)
+    vectors = np.asarray(vectors, dtype=np.int64)
+    if vectors.ndim != 2:
+        raise MicroVerilogError(f"vectors must be (n, num_inputs), got {vectors.shape}")
+    input_ports = module.inputs
+    expected = [f"in{i}" for i in range(len(input_ports))]
+    if [port.name for port in input_ports] != expected:
+        raise MicroVerilogError(
+            f"module {module.name!r} does not expose the in0..in{len(input_ports) - 1} "
+            "port convention"
+        )
+    if vectors.shape[1] != len(input_ports):
+        raise MicroVerilogError(
+            f"module {module.name!r} has {len(input_ports)} inputs, "
+            f"stimulus provides {vectors.shape[1]}"
+        )
+    outputs = module.evaluate(
+        {port.name: vectors[:, i] for i, port in enumerate(input_ports)}
+    )
+    if "class_index" not in outputs:
+        raise MicroVerilogError(f"module {module.name!r} has no class_index output")
+    return outputs["class_index"]

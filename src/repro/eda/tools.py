@@ -1,0 +1,233 @@
+"""Feature-detected external EDA tools: iverilog simulation, Yosys synth.
+
+Everything in this module degrades gracefully: tool discovery goes
+through :func:`shutil.which`, callers gate on :func:`have_iverilog` /
+:func:`have_yosys`, and nothing here is imported by the always-available
+microverilog oracle.  When the tools *are* present (CI installs them;
+``apt install iverilog yosys`` locally), two real flows become
+available:
+
+* :func:`run_iverilog` — compile the emitted module + self-checking
+  testbench with ``iverilog -g2001``, execute with ``vvp``, and parse
+  the testbench's ``$display`` verdict (``TESTBENCH PASSED`` /
+  ``TESTBENCH FAILED with N errors`` plus per-vector ``MISMATCH``
+  lines) back into a typed result;
+* :func:`run_yosys_stat` — push the module through Yosys
+  ``hierarchy; synth; stat`` and parse the gate-level cell census, the
+  real-synthesis counterpart of the analytical EGFET area model.
+
+Both raise :class:`EdaToolError` on tool failure (non-zero exit,
+timeout, unparsable output) — a broken external flow must be loud,
+never an empty result.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "EdaToolError",
+    "ToolInfo",
+    "IverilogResult",
+    "YosysStat",
+    "find_tool",
+    "have_iverilog",
+    "have_yosys",
+    "run_iverilog",
+    "run_yosys_stat",
+]
+
+#: Wall-clock budget per external tool invocation, in seconds.  The
+#: emitted modules are tiny (tens of neurons); anything slower than this
+#: indicates a hung tool, not a big design.
+DEFAULT_TIMEOUT = 120.0
+
+
+class EdaToolError(RuntimeError):
+    """An external EDA tool is missing, failed, or produced unparsable output."""
+
+
+@dataclass(frozen=True)
+class ToolInfo:
+    """One discovered external tool."""
+
+    name: str
+    path: str
+    #: First line of the tool's version banner ("" when the probe failed;
+    #: discovery still succeeds — the binary exists and is executable).
+    version: str = ""
+
+
+def find_tool(name: str, version_args: Tuple[str, ...] = ("-V",)) -> Optional[ToolInfo]:
+    """Locate ``name`` on PATH and best-effort probe its version banner."""
+    path = shutil.which(name)
+    if path is None:
+        return None
+    version = ""
+    try:
+        probe = subprocess.run(
+            [path, *version_args],
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+        )
+        banner = (probe.stdout or probe.stderr).strip()
+        if banner:
+            version = banner.splitlines()[0].strip()
+    except (OSError, subprocess.TimeoutExpired):
+        pass
+    return ToolInfo(name=name, path=path, version=version)
+
+
+def have_iverilog() -> bool:
+    """True when both ``iverilog`` and its ``vvp`` runtime are on PATH."""
+    return shutil.which("iverilog") is not None and shutil.which("vvp") is not None
+
+
+def have_yosys() -> bool:
+    """True when ``yosys`` is on PATH."""
+    return shutil.which("yosys") is not None
+
+
+def _run(command: List[str], timeout: float, cwd: Optional[Path] = None) -> str:
+    """Run one tool process; non-zero exit or timeout raises EdaToolError."""
+    try:
+        completed = subprocess.run(
+            command,
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+            cwd=cwd,
+        )
+    except OSError as exc:
+        raise EdaToolError(f"{command[0]} could not be executed: {exc}") from exc
+    except subprocess.TimeoutExpired as exc:
+        raise EdaToolError(
+            f"{command[0]} timed out after {timeout:.0f}s"
+        ) from exc
+    if completed.returncode != 0:
+        detail = (completed.stderr or completed.stdout).strip()
+        raise EdaToolError(
+            f"{' '.join(command[:2])} exited with {completed.returncode}: {detail}"
+        )
+    return completed.stdout
+
+
+# ---------------------------------------------------------------------------
+# iverilog: compile + execute the self-checking testbench
+# ---------------------------------------------------------------------------
+
+_FAILED_RE = re.compile(r"TESTBENCH FAILED with (\d+) errors")
+
+
+@dataclass(frozen=True)
+class IverilogResult:
+    """Parsed verdict of one compiled-and-executed testbench run."""
+
+    #: The testbench printed ``TESTBENCH PASSED``.
+    passed: bool
+    #: Error count from the ``TESTBENCH FAILED`` banner (0 on pass).
+    errors: int
+    #: The per-vector ``MISMATCH inputs=... expected=... got=...`` lines.
+    mismatch_lines: Tuple[str, ...] = ()
+
+
+def run_iverilog(
+    verilog: str,
+    testbench: str,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> IverilogResult:
+    """Compile and execute a module + self-checking testbench pair.
+
+    The testbench text must follow the
+    :func:`repro.rtl.testbench.generate_testbench` verdict protocol
+    (``TESTBENCH PASSED`` / ``TESTBENCH FAILED with N errors``); any
+    simulator output without exactly one verdict banner raises
+    :class:`EdaToolError`.
+    """
+    if not have_iverilog():
+        raise EdaToolError("iverilog/vvp not found on PATH")
+    with tempfile.TemporaryDirectory(prefix="repro-eda-") as workdir:
+        work = Path(workdir)
+        (work / "module.v").write_text(verilog, encoding="utf-8")
+        (work / "tb.v").write_text(testbench, encoding="utf-8")
+        _run(
+            ["iverilog", "-g2001", "-o", "sim.vvp", "tb.v", "module.v"],
+            timeout,
+            cwd=work,
+        )
+        stdout = _run(["vvp", "sim.vvp"], timeout, cwd=work)
+    mismatches = tuple(
+        line.strip() for line in stdout.splitlines() if "MISMATCH" in line
+    )
+    if "TESTBENCH PASSED" in stdout:
+        if mismatches:
+            raise EdaToolError(
+                "testbench printed PASSED but also mismatch lines:\n" + stdout
+            )
+        return IverilogResult(passed=True, errors=0)
+    failed = _FAILED_RE.search(stdout)
+    if failed is None:
+        raise EdaToolError(f"no testbench verdict in simulator output:\n{stdout}")
+    return IverilogResult(
+        passed=False, errors=int(failed.group(1)), mismatch_lines=mismatches
+    )
+
+
+# ---------------------------------------------------------------------------
+# Yosys: generic synthesis + cell census
+# ---------------------------------------------------------------------------
+
+_NUM_CELLS_RE = re.compile(r"Number of cells:\s+(\d+)")
+#: One per-cell-type census line of ``stat`` output, e.g. ``$add  12``.
+_CELL_LINE_RE = re.compile(r"^\s+(\$?[A-Za-z_][\w$\\]*)\s+(\d+)\s*$", re.MULTILINE)
+
+
+@dataclass(frozen=True)
+class YosysStat:
+    """Gate-level cell census of one synthesized module."""
+
+    #: Total cell count from the final ``stat`` report.
+    cells: int
+    #: Per-cell-type counts (``$add``, ``$mux``, ...).
+    cell_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def arithmetic_cells(self) -> int:
+        """Adder/subtractor cells — the analytical model's FA currency."""
+        return sum(
+            count
+            for name, count in self.cell_counts.items()
+            if name in ("$add", "$sub", "$alu", "$fa")
+        )
+
+
+def run_yosys_stat(
+    verilog: str,
+    top: str,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> YosysStat:
+    """Synthesize one module with Yosys and parse the final cell census."""
+    if not have_yosys():
+        raise EdaToolError("yosys not found on PATH")
+    with tempfile.TemporaryDirectory(prefix="repro-eda-") as workdir:
+        work = Path(workdir)
+        (work / "module.v").write_text(verilog, encoding="utf-8")
+        script = f"read_verilog module.v; hierarchy -top {top}; synth; stat"
+        stdout = _run(["yosys", "-q", "-p", script], timeout, cwd=work)
+    # ``synth`` itself runs intermediate ``stat`` passes; the census we
+    # report is the *last* one, after mapping.
+    matches = list(_NUM_CELLS_RE.finditer(stdout))
+    if not matches:
+        raise EdaToolError(f"no cell census in yosys output:\n{stdout[-2000:]}")
+    final = matches[-1]
+    cell_counts: Dict[str, int] = {}
+    for line_match in _CELL_LINE_RE.finditer(stdout, final.end()):
+        cell_counts[line_match.group(1)] = int(line_match.group(2))
+    return YosysStat(cells=int(final.group(1)), cell_counts=cell_counts)

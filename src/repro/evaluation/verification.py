@@ -22,7 +22,15 @@ run front-wide in one pass:
   emitted Verilog module are parsed back out and independently executed
   (:func:`~repro.rtl.verilog.evaluate_neuron_expression`), so a wrong
   mask/shift/bias literal produced by the Verilog *generator* is caught
-  even though the testbench golden responses originate from the model.
+  even though the testbench golden responses originate from the model;
+* **Verilog semantics vs. RTL testbench** (opt-in, ``eda=True``) — the
+  *whole module text* is parsed and executed as Verilog by the
+  :mod:`repro.eda.microverilog` simulator, with the language's
+  width/signedness rules rather than Python's.  The expression oracle
+  above checks only the accumulator arithmetic; this fifth oracle
+  additionally covers the QReLU saturation ternaries, the behavioural
+  argmax block and the declared wire widths, and rejects module text
+  that is not legal within the emitted subset.
 
 :func:`verify_front` applies this to every member of an estimated
 Pareto front, reusing decoded models from the shared
@@ -134,15 +142,23 @@ class DesignVerification:
     #: and independently executed) and the Python model — this is the
     #: leg that catches bugs in the Verilog *generator* itself.
     expression_mismatches: int = 0
+    #: Per-vector class disagreements between the full module text
+    #: executed as Verilog (:func:`repro.eda.microverilog.simulate_mlp_module`)
+    #: and the testbench golden responses.  Only populated when the
+    #: microverilog oracle ran (``eda_oracle``).
+    eda_mismatches: int = 0
+    #: True when the microverilog fifth oracle executed for this design.
+    eda_oracle: bool = False
 
     @property
     def total_mismatches(self) -> int:
-        """All disagreements across the four comparisons."""
+        """All disagreements across the executed comparisons."""
         return (
             self.netlist_mismatches
             + self.rtl_mismatches
             + self.model_mismatches
             + self.expression_mismatches
+            + self.eda_mismatches
         )
 
     @property
@@ -201,6 +217,16 @@ class FrontVerification:
         return sum(result.expression_mismatches for result in self.results)
 
     @property
+    def eda_mismatches(self) -> int:
+        """Total microverilog-simulation-vs-golden class disagreements."""
+        return sum(result.eda_mismatches for result in self.results)
+
+    @property
+    def eda_checked(self) -> int:
+        """Designs the microverilog fifth oracle actually executed on."""
+        return sum(1 for result in self.results if result.eda_oracle)
+
+    @property
     def total_mismatches(self) -> int:
         """All disagreements across all designs."""
         return sum(result.total_mismatches for result in self.results)
@@ -232,6 +258,7 @@ def verify_design(
     testbench_text: Optional[str] = None,
     verilog_text: Optional[str] = None,
     plan_cache: Optional[NetlistPlanCache] = None,
+    eda: bool = False,
 ) -> DesignVerification:
     """Differentially verify one design on a batch of input vectors.
 
@@ -252,6 +279,15 @@ def verify_design(
         Optional shared :class:`NetlistPlanCache`;
         :func:`verify_front` passes one cache for the whole front so
         parameter-identical neurons are built and compiled once.
+    eda:
+        When true, additionally parse and execute the *whole module
+        text* as Verilog with :mod:`repro.eda.microverilog` and compare
+        its ``class_index`` output against the testbench golden
+        responses.  Module text outside the emitted subset (or outright
+        illegal Verilog) raises
+        :class:`~repro.eda.microverilog.MicroVerilogError` — a
+        generator that emits unparsable text must fail loudly, not
+        count as zero mismatches.
     """
     vectors = np.asarray(vectors, dtype=np.int64)
     if vectors.ndim != 2 or vectors.shape[1] != mlp.topology.num_inputs:
@@ -325,6 +361,15 @@ def verify_design(
 
     gate_predictions = np.argmax(gate_scores, axis=1)
     model_predictions = mlp.predict(vectors)
+
+    # ---- fifth oracle: the module text, executed as Verilog ----
+    eda_mismatches = 0
+    if eda:
+        from repro.eda.microverilog import simulate_mlp_module
+
+        eda_predictions = simulate_mlp_module(verilog_text, vectors)
+        eda_mismatches = int(np.count_nonzero(eda_predictions != golden))
+
     return DesignVerification(
         num_vectors=n,
         num_neurons=num_neurons,
@@ -332,6 +377,8 @@ def verify_design(
         rtl_mismatches=int(np.count_nonzero(gate_predictions != golden)),
         model_mismatches=int(np.count_nonzero(model_predictions != golden)),
         expression_mismatches=expression_mismatches,
+        eda_mismatches=eda_mismatches,
+        eda_oracle=eda,
     )
 
 
@@ -342,6 +389,7 @@ def verify_front(
     seed: int = 0,
     max_designs: Optional[int] = None,
     cache: Optional[EvaluationCache] = None,
+    eda: bool = False,
 ) -> FrontVerification:
     """Differentially verify every member of an estimated Pareto front.
 
@@ -359,8 +407,12 @@ def verify_front(
     cache:
         Optional shared evaluation cache: decoded models are reused from
         its ``models`` section and per-design verification results are
-        memoized in its ``reports`` section, keyed by genome and
-        stimulus fingerprint.
+        memoized in its ``reports`` section, keyed by genome, stimulus
+        fingerprint and oracle selection.
+    eda:
+        When true, every design additionally runs through the
+        :mod:`repro.eda.microverilog` fifth oracle (see
+        :func:`verify_design`).
     """
     start = time.perf_counter()
     front = result.estimated_front
@@ -394,7 +446,7 @@ def verify_front(
     for point in front:
         key = (
             ("rtl-verify", layout_key,
-             EvaluationCache.genome_key(np.asarray(point.payload)), stimulus)
+             EvaluationCache.genome_key(np.asarray(point.payload)), stimulus, eda)
             if cache is not None and point.payload is not None
             else None
         )
@@ -404,7 +456,7 @@ def verify_front(
             results.append(verification)
             continue
         _, model = resolve_decoded_model(result, point, cache, layout_key)
-        verification = verify_design(model, vectors, plan_cache=plan_cache)
+        verification = verify_design(model, vectors, plan_cache=plan_cache, eda=eda)
         if key is not None:
             cache.reports.put(key, verification)
         results.append(verification)

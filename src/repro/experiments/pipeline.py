@@ -321,18 +321,25 @@ class DatasetPipeline:
             max_accuracy_loss=max_accuracy_loss,
         )
         verification = None
-        if self.scale.verify_rtl:
+        if self.scale.verify_rtl or self.scale.verify_eda:
             # Differential sign-off of the synthesized front: Python
             # model vs. gate-level netlist vs. RTL testbench golden
-            # vectors, one batched pass per design.  Shares the same
+            # vectors (plus, with verify_eda, the module text executed
+            # as Verilog), one batched pass per design.  Shares the same
             # cache, so a second run (or a disk snapshot) serves the
             # verification results without re-simulating.
+            verify_seed = (
+                self.scale.verify_seed
+                if self.scale.verify_seed is not None
+                else self.scale.seed
+            )
             verification = verify_front(
                 ga_result,
                 num_vectors=self.scale.verify_vectors,
-                seed=self.scale.seed,
+                seed=verify_seed,
                 max_designs=self.scale.max_front_designs,
                 cache=cache,
+                eda=self.scale.verify_eda,
             )
         if snapshot is not None:
             self._cache_io[spec.name] = {"loaded": loaded, "saved": 0}

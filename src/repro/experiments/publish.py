@@ -23,6 +23,7 @@ from repro.experiments.pipeline import PipelineResult
 from repro.serving.store import (
     DesignRecord,
     DesignStore,
+    EdaSummaryRecord,
     FrontRecord,
     MethodRecord,
     MethodsRecord,
@@ -184,8 +185,20 @@ def rtl_records(result: PipelineResult) -> List[RTLRecord]:
     (no re-decoding of genomes the GA already decoded); testbench
     vectors are drawn with the dataset spec's seed so the emitted text
     is deterministic.
+
+    Every record additionally carries the testbench shape parsed back
+    *out of the emitted text* and the microverilog verdict of executing
+    that text as Verilog against its own golden vectors — so a consumer
+    of the store knows the published artifact itself was simulated, not
+    just the model that produced it.  A design whose emitted text cannot
+    be parsed or disagrees with its golden vectors fails publishing
+    loudly (:class:`~repro.eda.microverilog.MicroVerilogError` /
+    ``ValueError``) instead of entering the store unverified.
     """
-    from repro.rtl.testbench import generate_testbench
+    import numpy as np
+
+    from repro.eda.microverilog import simulate_mlp_module
+    from repro.rtl.testbench import extract_testbench_vectors, generate_testbench
     from repro.rtl.verilog import generate_mlp_verilog
 
     approx = result.approximate
@@ -204,17 +217,36 @@ def rtl_records(result: PipelineResult) -> List[RTLRecord]:
         _, model = resolve_decoded_model(
             approx.ga_result, design.point, cache, layout_key
         )
+        verilog = generate_mlp_verilog(model, module_name=module_name)
+        testbench = generate_testbench(
+            model,
+            module_name=module_name,
+            testbench_name=f"{module_name}_tb",
+            seed=0,
+        )
+        parsed = extract_testbench_vectors(testbench)
+        predictions = simulate_mlp_module(verilog, parsed.vectors)
+        mismatches = int(np.count_nonzero(predictions != parsed.golden))
+        if mismatches:
+            raise ValueError(
+                f"design {name!r} of dataset {result.spec.name!r}: emitted "
+                f"Verilog disagrees with its own testbench golden vectors on "
+                f"{mismatches}/{parsed.num_vectors} vectors; refusing to publish"
+            )
         records.append(
             RTLRecord(
                 dataset=result.spec.name,
                 design=name,
                 module_name=module_name,
-                verilog=generate_mlp_verilog(model, module_name=module_name),
-                testbench=generate_testbench(
-                    model,
-                    module_name=module_name,
-                    testbench_name=f"{module_name}_tb",
-                    seed=0,
+                verilog=verilog,
+                testbench=testbench,
+                num_vectors=parsed.num_vectors,
+                num_inputs=parsed.num_inputs,
+                eda=EdaSummaryRecord(
+                    oracle="microverilog",
+                    num_vectors=parsed.num_vectors,
+                    mismatches=mismatches,
+                    passed=mismatches == 0,
                 ),
             )
         )

@@ -54,6 +54,11 @@ vs. RTL testbench golden vectors, batched over ``--verify-vectors``
 stimulus vectors, sharing one compiled netlist schedule between
 parameter-identical neurons across the front — and prints a per-dataset
 ``[verify]`` summary line (see ``docs/verification.md``).
+
+``--verify-eda`` additionally executes every front member's emitted
+module text *as Verilog* through the :mod:`repro.eda.microverilog`
+fifth oracle (implies the verification sweep); ``--verify-seed`` pins
+the stimulus draw independently of the experiment seed.
 """
 
 from __future__ import annotations
@@ -235,6 +240,25 @@ def main(argv: List[str] | None = None) -> int:
         default=None,
         help="stimulus vectors per design for --verify-rtl (default: scale setting)",
     )
+    parser.add_argument(
+        "--verify-eda",
+        action="store_true",
+        help=(
+            "additionally execute every front member's emitted module text "
+            "as Verilog through the repro.eda.microverilog fifth oracle "
+            "(implies --verify-rtl)"
+        ),
+    )
+    parser.add_argument(
+        "--verify-seed",
+        type=int,
+        default=None,
+        help=(
+            "seed for the verification stimulus draw (default: the "
+            "experiment seed); two runs with the same value apply "
+            "identical vectors"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.serve or args.query:
@@ -267,6 +291,10 @@ def main(argv: List[str] | None = None) -> int:
         scale = dataclasses.replace(scale, cache_dir=args.cache_dir)
     if args.verify_rtl:
         scale = dataclasses.replace(scale, verify_rtl=True)
+    if args.verify_eda:
+        # The fifth oracle rides on the verification sweep, so enabling
+        # it enables the sweep too.
+        scale = dataclasses.replace(scale, verify_rtl=True, verify_eda=True)
     if args.verify_vectors is not None:
         # The scale itself may enable verification (ExperimentScale.verify_rtl);
         # only reject the flag when no verification will actually run.
@@ -275,6 +303,10 @@ def main(argv: List[str] | None = None) -> int:
         if args.verify_vectors <= 0:
             parser.error("--verify-vectors must be positive")
         scale = dataclasses.replace(scale, verify_vectors=args.verify_vectors)
+    if args.verify_seed is not None:
+        if not scale.verify_rtl:
+            parser.error("--verify-seed requires --verify-rtl or --verify-eda")
+        scale = dataclasses.replace(scale, verify_seed=args.verify_seed)
 
     session = ExperimentSession(scale)
     names = list(EXPERIMENT_ORDER) if args.experiment == "all" else [args.experiment]
@@ -302,9 +334,12 @@ def main(argv: List[str] | None = None) -> int:
                 f"{stats['evaluations']} hits ({100.0 * stats['hit_rate']:.1f}%), "
                 f"snapshot loaded {stats['loaded']} / saved {stats['saved']} entries"
             )
-    if scale.verify_rtl:
+    if scale.verify_rtl or scale.verify_eda:
         for dataset, verification in sorted(session.verification_summary().items()):
             status = "OK" if verification.passed else "FAILED"
+            eda_part = (
+                f"eda {verification.eda_mismatches} / " if scale.verify_eda else ""
+            )
             print(
                 f"[verify] {dataset}: {verification.num_designs} designs x "
                 f"{verification.num_vectors} vectors "
@@ -314,7 +349,9 @@ def main(argv: List[str] | None = None) -> int:
                 f"netlist {verification.netlist_mismatches} / "
                 f"RTL {verification.rtl_mismatches} / "
                 f"model {verification.model_mismatches} / "
-                f"expr {verification.expression_mismatches} mismatches "
+                f"expr {verification.expression_mismatches} / "
+                f"{eda_part}"
+                f"total {verification.total_mismatches} mismatches "
                 f"[{status}] ({verification.seconds:.2f}s)"
             )
     return 0

@@ -9,13 +9,42 @@ the paper's functional simulation step.
 from __future__ import annotations
 
 import re
-from typing import List, Optional
+from typing import List, NamedTuple, Optional
 
 import numpy as np
 
 from repro.approx.mlp import ApproximateMLP
 
-__all__ = ["generate_testbench", "extract_testbench_vectors"]
+__all__ = ["TestbenchVectors", "generate_testbench", "extract_testbench_vectors"]
+
+
+class TestbenchVectors(NamedTuple):
+    """Stimulus and golden responses recovered from a testbench text.
+
+    A named result (still unpackable as the historical ``(vectors,
+    golden)`` tuple) so downstream consumers — the verification harness,
+    the EDA cross-check flow, the store's RTL records — can talk about
+    ``.vectors``/``.golden``/``.num_vectors`` instead of positional
+    indices.
+    """
+
+    #: Not a test class, despite the pytest-shaped name.
+    __test__ = False
+
+    #: ``(n, num_inputs)`` int64 applied input vectors.
+    vectors: np.ndarray
+    #: ``(n,)`` int64 expected class indices.
+    golden: np.ndarray
+
+    @property
+    def num_vectors(self) -> int:
+        """Number of applied stimulus vectors."""
+        return int(self.golden.size)
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of primary inputs each vector drives."""
+        return int(self.vectors.shape[1])
 
 #: One applied input assignment: ``inN = <bits>'d<value>;`` lines.
 _INPUT_RE = re.compile(r"^\s*in(\d+) = \d+'d(\d+);$", re.MULTILINE)
@@ -89,7 +118,7 @@ def generate_testbench(
     return "\n".join(lines) + "\n"
 
 
-def extract_testbench_vectors(text: str) -> tuple:
+def extract_testbench_vectors(text: str) -> TestbenchVectors:
     """Recover the applied vectors and golden responses from a testbench.
 
     Parses the literal stimulus assignments (``inN = ...``) and golden
@@ -102,10 +131,11 @@ def extract_testbench_vectors(text: str) -> tuple:
 
     Returns
     -------
-    ``(vectors, golden)`` — an ``(n, num_inputs)`` int64 array of the
-    applied input vectors and an ``(n,)`` int64 array of the expected
-    class indices.  Raises ``ValueError`` when the text does not look
-    like a generated testbench.
+    A :class:`TestbenchVectors` — an ``(n, num_inputs)`` int64 array of
+    the applied input vectors and an ``(n,)`` int64 array of the
+    expected class indices (unpackable as ``(vectors, golden)``).
+    Raises ``ValueError`` when the text does not look like a generated
+    testbench.
     """
     golden = np.array([int(g) for g in _GOLDEN_RE.findall(text)], dtype=np.int64)
     assignments = [(int(i), int(v)) for i, v in _INPUT_RE.findall(text)]
@@ -122,4 +152,4 @@ def extract_testbench_vectors(text: str) -> tuple:
         if index != flat % num_inputs:
             raise ValueError("input assignments are not in canonical order")
         vectors[flat // num_inputs, index] = value
-    return vectors, golden
+    return TestbenchVectors(vectors=vectors, golden=golden)

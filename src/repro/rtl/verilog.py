@@ -194,13 +194,24 @@ def generate_mlp_verilog(mlp: ApproximateMLP, module_name: str = "approx_mlp") -
             shift = layer.activation.shift if layer.activation is not None else 0
             out_bits = layer.activation.out_bits if layer.activation is not None else 8
             max_val = (1 << out_bits) - 1
+            lines.append(
+                f"    localparam integer ACT_MAX_L{layer_index} = {max_val};"
+            )
             for j in range(layer.fan_out):
                 acc = f"acc_l{layer_index}_n{j}"
-                shifted = f"({acc} >>> {shift})" if shift else acc
+                # A part-select is only legal on an identifier, so the
+                # shifted accumulator gets its own named wire before the
+                # QReLU saturation ternary slices it.
+                sat = f"sat_l{layer_index}_n{j}"
+                shifted = f"{acc} >>> {shift}" if shift else acc
+                lines.append(
+                    f"    wire signed [{acc_width - 1}:0] {sat} = {shifted};"
+                )
                 lines.append(
                     f"    wire [{out_bits - 1}:0] act_l{layer_index}_n{j} = "
                     f"({acc} < 0) ? {out_bits}'d0 : "
-                    f"(({shifted}) > {max_val}) ? {out_bits}'d{max_val} : {shifted}[{out_bits - 1}:0];"
+                    f"({sat} > ACT_MAX_L{layer_index}) ? {out_bits}'d{max_val} : "
+                    f"{sat}[{out_bits - 1}:0];"
                 )
             previous_prefix = f"act_l{layer_index}_n"
         lines.append("")

@@ -45,6 +45,7 @@ FORBIDDEN_MODULES = (
     "repro.datasets",
     "repro.quant",
     "repro.rtl",
+    "repro.eda",
     "repro.experiments",
     "repro.core.trainer",
     "repro.core.islands",

@@ -267,14 +267,24 @@ class ParetoService:
                 record, design=design, max_accuracy_loss=loss
             )
             rtl = await self._rtl_record(dataset, name)
-            return {
+            answer = {
                 "dataset": dataset,
                 "design": name,
                 "module_name": rtl.module_name,
                 "fingerprint": rtl.fingerprint,
                 "verilog": rtl.verilog,
                 "testbench": rtl.testbench,
+                "num_vectors": rtl.num_vectors,
+                "num_inputs": rtl.num_inputs,
             }
+            if rtl.eda is not None:
+                answer["eda"] = {
+                    "oracle": rtl.eda.oracle,
+                    "num_vectors": rtl.eda.num_vectors,
+                    "mismatches": rtl.eda.mismatches,
+                    "passed": rtl.eda.passed,
+                }
+            return answer
 
         return await self._run("rtl", ("rtl", dataset, design, loss), compute)
 

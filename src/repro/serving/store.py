@@ -55,6 +55,7 @@ __all__ = [
     "DesignRecord",
     "MethodRecord",
     "VerificationRecord",
+    "EdaSummaryRecord",
     "FrontRecord",
     "Tc23Record",
     "MethodsRecord",
@@ -66,7 +67,9 @@ __all__ = [
 
 #: Version of the on-disk store layout.  Bump whenever record fields,
 #: file layout or the fingerprint recipe change shape.
-STORE_SCHEMA_VERSION = 1
+#: Version 2: RTL records carry the parsed testbench shape and an EDA
+#: verification summary; verification records count the EDA oracle.
+STORE_SCHEMA_VERSION = 2
 
 _MANIFEST = "store.json"
 _KIND_MANIFEST = "design-store"
@@ -171,6 +174,11 @@ class VerificationRecord:
     model_mismatches: int
     expression_mismatches: int
     passed: bool
+    #: Class disagreements of the microverilog fifth oracle (0 when it
+    #: did not run; ``eda_checked`` tells the two apart).
+    eda_mismatches: int = 0
+    #: Designs the microverilog oracle actually executed on.
+    eda_checked: int = 0
 
     @classmethod
     def from_verification(cls, verification) -> "VerificationRecord":
@@ -183,6 +191,8 @@ class VerificationRecord:
             model_mismatches=int(verification.model_mismatches),
             expression_mismatches=int(verification.expression_mismatches),
             passed=bool(verification.passed),
+            eda_mismatches=int(getattr(verification, "eda_mismatches", 0)),
+            eda_checked=int(getattr(verification, "eda_checked", 0)),
         )
 
 
@@ -240,6 +250,25 @@ class MethodsRecord:
 
 
 @dataclass(frozen=True)
+class EdaSummaryRecord:
+    """Outcome of executing one design's module text as Verilog.
+
+    Produced at publish time by the always-available microverilog
+    oracle (``oracle="microverilog"``); the external cross-check flow
+    (:mod:`repro.eda.report`) emits the same shape with
+    ``oracle="iverilog"``.
+    """
+
+    #: Which simulator produced the verdict.
+    oracle: str
+    #: Stimulus vectors applied (the testbench's embedded vectors).
+    num_vectors: int
+    #: Per-vector class disagreements against the testbench golden.
+    mismatches: int
+    passed: bool
+
+
+@dataclass(frozen=True)
 class RTLRecord:
     """Emitted Verilog + testbench text for one front design."""
 
@@ -250,6 +279,12 @@ class RTLRecord:
     testbench: str
     #: BLAKE2b digest of (verilog, testbench) — cheap staleness check.
     fingerprint: str = ""
+    #: Testbench shape, parsed back out of the emitted text at publish
+    #: time (mirrors :class:`repro.rtl.testbench.TestbenchVectors`).
+    num_vectors: int = 0
+    num_inputs: int = 0
+    #: Verilog-semantics verification of this very text (if performed).
+    eda: Optional[EdaSummaryRecord] = None
 
     def __post_init__(self) -> None:
         if not self.fingerprint:
@@ -291,6 +326,7 @@ _NESTED_FIELDS = {
     "verification": VerificationRecord,
     "designs": DesignRecord,
     "methods": MethodRecord,
+    "eda": EdaSummaryRecord,
 }
 
 

@@ -1,0 +1,348 @@
+"""Tests for the microverilog parser/simulator — the fifth oracle.
+
+Three layers:
+
+* **language units** — literals, width/signedness contexts, operators,
+  part-selects, concats, localparams, always blocks, and the loud-error
+  paths (outside-subset text must raise, never parse-and-skip);
+* **mutation detection** — programmatically tampered module text
+  (flipped comparison, narrowed width, dropped ``signed``, altered
+  saturation bound) must produce mismatches or a parse error; mutation
+  seeds were chosen so each tamper provably changes behaviour on the
+  applied vectors (a vacuously-passing oracle would fail these);
+* **harness integration** — ``verify_design(eda=True)`` populates the
+  new fields, rejects illegal module text loudly, and the seeded
+  stimulus draw is reproducible.
+"""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.approx.config import ApproxConfig
+from repro.approx.mlp import ApproximateMLP
+from repro.approx.topology import Topology
+from repro.eda.microverilog import (
+    MAX_WIDTH,
+    MicroVerilogError,
+    parse_module,
+    simulate_mlp_module,
+)
+from repro.evaluation.verification import verify_design
+from repro.rtl.verilog import generate_mlp_verilog
+
+
+def _module(body: str, ports: str = "input  wire [7:0] in0,\n    output wire [7:0] out") -> str:
+    return f"module t (\n    {ports}\n);\n{body}\nendmodule\n"
+
+
+def _eval1(body: str, in0: int, ports=None) -> int:
+    text = _module(body) if ports is None else _module(body, ports)
+    module = parse_module(text)
+    return int(module.evaluate({"in0": np.array([in0])})["out"][0])
+
+
+def _random_mlp(seed: int, sizes=(4, 3, 2)):
+    rng = np.random.default_rng(seed)
+    mlp = ApproximateMLP.random(Topology(sizes), ApproxConfig(), rng, mask_density=0.5)
+    vectors = rng.integers(0, 16, size=(64, sizes[0]))
+    return mlp, generate_mlp_verilog(mlp), vectors
+
+
+# ----------------------------------------------------------------------
+# Language semantics
+# ----------------------------------------------------------------------
+class TestExpressionSemantics:
+    def test_sized_literal_and_masking(self):
+        assert _eval1("    assign out = 8'd200;", 0) == 200
+
+    def test_assignment_truncates_to_lhs_width(self):
+        # 200 + 100 = 300 wraps to 44 in the 8-bit LHS context.
+        assert _eval1("    assign out = 8'd200 + 8'd100;", 0) == 44
+
+    def test_unsigned_subtraction_wraps(self):
+        assert _eval1("    assign out = 8'd3 - 8'd5;", 0) == 254
+
+    def test_signed_comparison_vs_unsigned_pattern(self):
+        # -1 stored in a signed wire compares below zero; the same bit
+        # pattern through an unsigned wire does not.
+        body = (
+            "    wire signed [7:0] s = -1;\n"
+            "    wire [7:0] u = 8'd255;\n"
+            "    assign out = {7'd0, s < 0} + {6'd0, (u < 8'd1), 1'b0};"
+        )
+        assert _eval1(body, 0) == 1
+
+    def test_comparison_signed_iff_both_operands_signed(self):
+        # signed -1 vs unsigned 1: the comparison happens unsigned, so
+        # the 255 pattern is NOT below 1 (Verilog's classic footgun).
+        body = (
+            "    wire signed [7:0] s = -1;\n"
+            "    assign out = {7'd0, s < 8'd1};"
+        )
+        assert _eval1(body, 0) == 0
+
+    def test_arithmetic_shift_right_sign_extends(self):
+        body = (
+            "    wire signed [7:0] s = -8;\n"
+            "    wire signed [7:0] sh = s >>> 2;\n"
+            "    assign out = sh;"
+        )
+        assert _eval1(body, 0) == (-2) & 0xFF
+
+    def test_logical_shift_right_zero_fills(self):
+        body = (
+            "    wire [7:0] u = 8'd248;\n"
+            "    wire [7:0] sh = u >> 2;\n"
+            "    assign out = sh;"
+        )
+        assert _eval1(body, 0) == 62
+
+    def test_part_select_is_unsigned(self):
+        body = (
+            "    wire signed [7:0] s = -1;\n"
+            "    assign out = {4'd0, s[3:0]};"
+        )
+        assert _eval1(body, 0) == 15
+
+    def test_concat_orders_msb_first(self):
+        assert _eval1("    assign out = {4'd10, 4'd5};", 0) == 0xA5
+
+    def test_ternary_selects_by_condition(self):
+        body = "    assign out = (in0 > 8'd10) ? 8'd1 : 8'd2;"
+        assert _eval1(body, 11) == 1
+        assert _eval1(body, 10) == 2
+
+    def test_localparam_integer_is_signed_32bit(self):
+        body = (
+            "    localparam integer LIMIT = 100;\n"
+            "    wire signed [8:0] s = -1;\n"
+            "    assign out = {7'd0, s < LIMIT};"
+        )
+        assert _eval1(body, 0) == 1
+
+    def test_sign_extension_through_wider_context(self):
+        # A 4-bit signed value read in an 8-bit signed context extends.
+        body = (
+            "    wire signed [3:0] small = -3;\n"
+            "    wire signed [7:0] wide = small;\n"
+            "    assign out = wide;"
+        )
+        assert _eval1(body, 0) == (-3) & 0xFF
+
+    def test_always_if_else_chain(self):
+        body = (
+            "    reg [7:0] r;\n"
+            "    always @* begin\n"
+            "        r = 8'd0;\n"
+            "        if (in0 > 8'd10) begin\n"
+            "            r = 8'd1;\n"
+            "        end\n"
+            "        if (in0 > 8'd100) begin\n"
+            "            r = 8'd2;\n"
+            "        end\n"
+            "    end\n"
+            "    assign out = r;"
+        )
+        assert _eval1(body, 5) == 0
+        assert _eval1(body, 50) == 1
+        assert _eval1(body, 200) == 2
+
+    def test_assign_order_is_topological_not_textual(self):
+        # "b" is declared/driven after "a" reads it textually.
+        body = (
+            "    wire [7:0] a = b + 8'd1;\n"
+            "    wire [7:0] b = in0;\n"
+            "    assign out = a;"
+        )
+        assert _eval1(body, 4) == 5
+
+    def test_vectorized_evaluation_matches_scalar(self):
+        text = _module("    assign out = (in0 > 8'd7) ? in0 - 8'd7 : 8'd0;")
+        module = parse_module(text)
+        batch = np.arange(20, dtype=np.int64)
+        out = module.evaluate({"in0": batch})["out"]
+        expected = np.where(batch > 7, batch - 7, 0)
+        assert np.array_equal(out, expected)
+
+
+class TestLoudErrors:
+    def test_part_select_on_expression_is_rejected(self):
+        """The exact illegal shape the generator used to emit."""
+        body = (
+            "    wire signed [9:0] acc = in0 + 8'd1;\n"
+            "    assign out = (acc >>> 2)[7:0];"
+        )
+        with pytest.raises(MicroVerilogError):
+            parse_module(_module(body))
+
+    def test_four_state_literal_rejected(self):
+        with pytest.raises(MicroVerilogError, match="4-state"):
+            parse_module(_module("    assign out = 8'bxxxxxxxx;"))
+
+    def test_oversized_literal_rejected(self):
+        with pytest.raises(MicroVerilogError, match="does not fit"):
+            parse_module(_module("    assign out = 4'd16 + 8'd0;"))
+
+    def test_unknown_identifier_rejected(self):
+        with pytest.raises(MicroVerilogError, match="ghost"):
+            parse_module(_module("    assign out = ghost;"))
+
+    def test_multiple_drivers_rejected(self):
+        body = "    assign out = 8'd1;\n    assign out = 8'd2;"
+        with pytest.raises(MicroVerilogError, match="multiple drivers"):
+            parse_module(_module(body))
+
+    def test_combinational_cycle_rejected(self):
+        body = (
+            "    wire [7:0] a = b;\n"
+            "    wire [7:0] b = a;\n"
+            "    assign out = a;"
+        )
+        with pytest.raises(MicroVerilogError, match="cycle"):
+            parse_module(_module(body))
+
+    def test_undriven_wire_rejected(self):
+        body = "    wire [7:0] floating;\n    assign out = floating;"
+        with pytest.raises(MicroVerilogError, match="never driven"):
+            parse_module(_module(body))
+
+    def test_width_beyond_supported_rejected(self):
+        with pytest.raises(MicroVerilogError, match=str(MAX_WIDTH)):
+            parse_module(_module(f"    wire [{MAX_WIDTH}:0] huge = 0;\n    assign out = huge[7:0];"))
+
+    def test_select_past_declared_width_rejected(self):
+        text = _module("    assign out = {4'd0, in0[11:8]};")
+        with pytest.raises(MicroVerilogError, match="exceeds"):
+            parse_module(text).evaluate({"in0": np.array([1])})
+
+    def test_trailing_text_rejected(self):
+        with pytest.raises(MicroVerilogError, match="trailing"):
+            parse_module(_module("    assign out = in0;") + "module extra (); endmodule")
+
+    def test_stimulus_out_of_range_rejected(self):
+        module = parse_module(_module("    assign out = in0;"))
+        with pytest.raises(MicroVerilogError, match="range"):
+            module.evaluate({"in0": np.array([256])})
+
+    def test_stimulus_port_mismatch_rejected(self):
+        module = parse_module(_module("    assign out = in0;"))
+        with pytest.raises(MicroVerilogError, match="input ports"):
+            module.evaluate({"in0": np.array([1]), "in1": np.array([2])})
+
+    def test_non_mlp_port_convention_rejected(self):
+        text = "module m (\n    input wire [3:0] data,\n    output wire [1:0] class_index\n);\n    assign class_index = data[1:0];\nendmodule\n"
+        with pytest.raises(MicroVerilogError, match="in0"):
+            simulate_mlp_module(text, np.zeros((1, 1), dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# Generated modules: simulator vs Python model
+# ----------------------------------------------------------------------
+class TestGeneratedModules:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_model_predictions(self, seed):
+        mlp, text, vectors = _random_mlp(seed)
+        assert np.array_equal(simulate_mlp_module(text, vectors), mlp.predict(vectors))
+
+    def test_three_layer_topology(self):
+        mlp, text, vectors = _random_mlp(3, sizes=(5, 4, 3, 2))
+        assert np.array_equal(simulate_mlp_module(text, vectors), mlp.predict(vectors))
+
+    def test_boundary_vectors(self):
+        mlp, text, _ = _random_mlp(7)
+        boundary = np.array([[0, 0, 0, 0], [15, 15, 15, 15]], dtype=np.int64)
+        assert np.array_equal(
+            simulate_mlp_module(text, boundary), mlp.predict(boundary)
+        )
+
+    def test_module_ports_reflect_topology(self):
+        _, text, _ = _random_mlp(0)
+        module = parse_module(text)
+        assert [port.name for port in module.inputs] == ["in0", "in1", "in2", "in3"]
+        assert [port.name for port in module.outputs] == ["class_index"]
+
+
+# ----------------------------------------------------------------------
+# Mutation detection: tampered text must fail loudly
+# ----------------------------------------------------------------------
+class TestMutationDetection:
+    """Each tamper provably alters behaviour for its chosen seed (the
+    seeds were selected so the mutated text both still parses and
+    disagrees with the model on the applied vectors)."""
+
+    def _assert_detected(self, mlp, mutated, vectors):
+        golden = mlp.predict(vectors)
+        try:
+            got = simulate_mlp_module(mutated, vectors)
+        except MicroVerilogError:
+            return  # rejecting the tampered text is also a loud failure
+        assert np.count_nonzero(got != golden) > 0, (
+            "tampered Verilog simulated identically to the model — "
+            "the oracle is vacuous"
+        )
+
+    def test_flipped_argmax_comparison(self):
+        mlp, text, vectors = _random_mlp(0)
+        mutated = text.replace("> best_score", "< best_score")
+        assert mutated != text
+        self._assert_detected(mlp, mutated, vectors)
+
+    def test_narrowed_accumulator_width(self):
+        mlp, text, vectors = _random_mlp(0)
+        mutated = re.sub(
+            r"wire signed \[\d+:0\] (acc_l1_)", r"wire signed [2:0] \1", text
+        )
+        assert mutated != text
+        self._assert_detected(mlp, mutated, vectors)
+
+    def test_dropped_sign_on_output_accumulators(self):
+        mlp, text, vectors = _random_mlp(0)
+        mutated = re.sub(r"wire signed (\[\d+:0\] acc_l1_)", r"wire \1", text)
+        assert mutated != text
+        self._assert_detected(mlp, mutated, vectors)
+
+    def test_dropped_sign_on_hidden_accumulators(self):
+        mlp, text, vectors = _random_mlp(1)
+        mutated = re.sub(r"wire signed (\[\d+:0\] acc_l0_)", r"wire \1", text)
+        assert mutated != text
+        self._assert_detected(mlp, mutated, vectors)
+
+    def test_tampered_saturation_bound(self):
+        mlp, text, vectors = _random_mlp(1)
+        mutated = re.sub(r"(ACT_MAX_L0 = )\d+", r"\g<1>3", text)
+        assert mutated != text
+        self._assert_detected(mlp, mutated, vectors)
+
+
+# ----------------------------------------------------------------------
+# verify_design(eda=True) integration
+# ----------------------------------------------------------------------
+class TestFifthOracleIntegration:
+    def test_clean_design_has_zero_eda_mismatches(self):
+        mlp, _, vectors = _random_mlp(2)
+        verification = verify_design(mlp, vectors, eda=True)
+        assert verification.eda_oracle is True
+        assert verification.eda_mismatches == 0
+        assert verification.passed
+
+    def test_eda_off_by_default(self):
+        mlp, _, vectors = _random_mlp(2)
+        verification = verify_design(mlp, vectors[:8])
+        assert verification.eda_oracle is False
+        assert verification.eda_mismatches == 0
+
+    def test_tampered_module_text_counts_eda_mismatches(self):
+        mlp, text, vectors = _random_mlp(0)
+        mutated = text.replace("> best_score", "< best_score")
+        verification = verify_design(mlp, vectors, verilog_text=mutated, eda=True)
+        assert verification.eda_mismatches > 0
+        assert not verification.passed
+        assert verification.total_mismatches >= verification.eda_mismatches
+
+    def test_unparsable_module_text_raises(self):
+        mlp, text, vectors = _random_mlp(0)
+        mutated = text.replace("endmodule", "endmodule garbage garbage")
+        with pytest.raises(MicroVerilogError):
+            verify_design(mlp, vectors, verilog_text=mutated, eda=True)

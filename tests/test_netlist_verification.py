@@ -586,3 +586,106 @@ class TestPipelineVerifyRtl:
         assert single.shape == (1, 4)
         assert np.all(single == 0)
         assert verify_front(tiny_ga_result, num_vectors=1).passed
+
+
+# ----------------------------------------------------------------------
+# Seeded stimulus + EDA oracle wiring
+# ----------------------------------------------------------------------
+class TestSeededVerification:
+    def test_draw_vectors_is_seed_deterministic(self):
+        """Two draws with the same seed are bit-identical; a different
+        seed draws different stimulus (beyond the pinned boundaries)."""
+        from repro.evaluation.verification import _draw_vectors
+
+        first = _draw_vectors(5, 15, 32, seed=11)
+        second = _draw_vectors(5, 15, 32, seed=11)
+        assert np.array_equal(first, second)
+        other = _draw_vectors(5, 15, 32, seed=12)
+        assert not np.array_equal(first, other)
+
+    def test_verify_front_reruns_identically_for_same_seed(self, tiny_ga_result):
+        first = verify_front(tiny_ga_result, num_vectors=8, seed=21)
+        second = verify_front(tiny_ga_result, num_vectors=8, seed=21)
+        assert second.results == first.results
+
+    def test_eda_flag_is_part_of_the_cache_key(self, tiny_ga_result):
+        """eda=False and eda=True verifications must not share entries —
+        an eda=True report carries the extra oracle's verdict."""
+        cache = EvaluationCache()
+        plain = verify_front(tiny_ga_result, num_vectors=6, cache=cache)
+        assert plain.cache_hits == 0
+        eda = verify_front(tiny_ga_result, num_vectors=6, cache=cache, eda=True)
+        assert eda.cache_hits == 0
+        assert all(result.eda_oracle for result in eda.results)
+        assert not any(result.eda_oracle for result in plain.results)
+        again = verify_front(tiny_ga_result, num_vectors=6, cache=cache, eda=True)
+        assert again.cache_hits == again.num_designs
+        assert again.results == eda.results
+
+    def test_scale_defaults(self):
+        from repro.experiments.config import ExperimentScale
+
+        fields = ExperimentScale.__dataclass_fields__
+        assert fields["verify_eda"].default is False
+        assert fields["verify_seed"].default is None
+
+    def test_pipeline_uses_verify_seed_over_scale_seed(self, monkeypatch):
+        """verify_seed overrides the experiment seed for stimulus draws."""
+        from repro.experiments import pipeline as pipeline_module
+        from repro.experiments.config import ExperimentScale
+        from repro.experiments.pipeline import DatasetPipeline
+
+        seen = {}
+
+        def spy_verify_front(ga_result, **kwargs):
+            seen.update(kwargs)
+            return None
+
+        monkeypatch.setattr(pipeline_module, "verify_front", spy_verify_front)
+        scale = ExperimentScale(
+            name="tiny-seeded",
+            datasets=("breast_cancer",),
+            max_samples=120,
+            gradient_epochs=4,
+            gradient_restarts=1,
+            ga_population=8,
+            ga_generations=2,
+            max_front_designs=4,
+            verify_rtl=True,
+            verify_vectors=6,
+            verify_seed=99,
+            verify_eda=True,
+        )
+        DatasetPipeline(scale).approximate("breast_cancer")
+        assert seen["seed"] == 99
+        assert seen["eda"] is True
+
+    def test_runner_verify_eda_flag_plumbs_into_scale(self, monkeypatch):
+        from repro.experiments import runner
+
+        seen = {}
+
+        class StubSession(runner.ExperimentSession):
+            def run(self, experiments=None, export_dir=None, dataset_workers=None, **kwargs):
+                seen["scale"] = self.scale
+                return {name: _EMPTY_ARTIFACT for name in experiments}
+
+        monkeypatch.setattr(runner, "ExperimentSession", StubSession)
+        assert (
+            runner.main(
+                ["--experiment", "table1", "--scale", "smoke",
+                 "--verify-eda", "--verify-seed", "7"]
+            )
+            == 0
+        )
+        assert seen["scale"].verify_eda is True
+        # --verify-eda implies the RTL harness it extends.
+        assert seen["scale"].verify_rtl is True
+        assert seen["scale"].verify_seed == 7
+
+    def test_runner_rejects_orphan_verify_seed(self):
+        """--verify-seed alone would silently seed nothing."""
+        from repro.experiments import runner
+
+        with pytest.raises(SystemExit):
+            runner.main(["--experiment", "table1", "--verify-seed", "3"])

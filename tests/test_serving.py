@@ -206,6 +206,79 @@ class TestStoreRoundTrip:
         with pytest.raises(StoreError):
             store.get_rtl("demo", "../../etc")
 
+    def test_rtl_record_eda_summary_round_trips(self, tmp_path):
+        """num_vectors/num_inputs and the nested EdaSummaryRecord survive
+        the strict-JSON store bit-identically."""
+        from repro.serving.store import EdaSummaryRecord
+
+        store = DesignStore(tmp_path)
+        record = RTLRecord(
+            dataset="demo",
+            design="d_00",
+            module_name="approx_mlp",
+            verilog="module approx_mlp; endmodule",
+            testbench="// tb",
+            num_vectors=16,
+            num_inputs=4,
+            eda=EdaSummaryRecord(
+                oracle="microverilog", num_vectors=16, mismatches=0, passed=True
+            ),
+        )
+        store.put_rtl(record)
+        loaded = store.get_rtl("demo", "d_00")
+        assert loaded.num_vectors == 16
+        assert loaded.num_inputs == 4
+        assert isinstance(loaded.eda, EdaSummaryRecord)
+        assert loaded.eda == record.eda
+        # The legacy shape (no EDA summary) still loads.
+        store.put_rtl(
+            RTLRecord(
+                dataset="demo",
+                design="d_01",
+                module_name="m",
+                verilog="module m; endmodule",
+                testbench="// tb",
+            )
+        )
+        bare = store.get_rtl("demo", "d_01")
+        assert bare.eda is None and bare.num_vectors == 0
+
+    def test_rtl_schema_version_mismatch_fails(self, store):
+        design = store.rtl_designs("demo")[0]
+        path = store.root / "demo" / "rtl" / f"{design}.json"
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = STORE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StoreError, match="schema_version"):
+            store.get_rtl("demo", design)
+
+    def test_rtl_eda_summary_unknown_field_fails(self, store):
+        design = store.rtl_designs("demo")[0]
+        path = store.root / "demo" / "rtl" / f"{design}.json"
+        payload = json.loads(path.read_text())
+        payload["record"]["eda"] = {
+            "oracle": "microverilog",
+            "num_vectors": 4,
+            "mismatches": 0,
+            "passed": True,
+            "bogus": 1,
+        }
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StoreError, match="bogus"):
+            store.get_rtl("demo", design)
+
+    def test_corrupt_testbench_text_fails_loudly(self, store):
+        """A stored testbench that no longer parses must raise, not
+        silently verify zero vectors."""
+        from repro.rtl.testbench import extract_testbench_vectors
+
+        design = store.rtl_designs("demo")[0]
+        rtl = store.get_rtl("demo", design)
+        with pytest.raises(ValueError, match="does not contain"):
+            extract_testbench_vectors(rtl.testbench)  # fixture tb is a stub
+        with pytest.raises(ValueError, match="does not contain"):
+            extract_testbench_vectors("module tb; endmodule")
+
     def test_record_schemas_match_golden(self):
         from repro.serving import store as store_module
 
@@ -218,6 +291,7 @@ class TestStoreRoundTrip:
             "tc23": Tc23Record,
             "methods": MethodsRecord,
             "rtl": RTLRecord,
+            "eda": store_module.EdaSummaryRecord,
             "dataset": DatasetRecord,
         }
         produced = {
