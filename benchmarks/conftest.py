@@ -74,4 +74,6 @@ def pytest_sessionfinish(session, exitstatus):
             "records": records,
         }
         path = out_dir / f"BENCH_{group}.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
+        )

@@ -96,7 +96,9 @@ class ApproximateMLP:
             :func:`default_shifts`.
         """
         config = config or ApproxConfig()
-        rng = rng or np.random.default_rng()
+        # Seeded fallback: library defaults must be reproducible (RP03);
+        # pass an explicit Generator to draw different networks.
+        rng = rng or np.random.default_rng(0)
         shifts = list(shifts) if shifts is not None else default_shifts(topology, config)
         layers: List[ApproximateLayer] = []
         for layer_index, (fan_in, fan_out) in enumerate(topology.layer_shapes()):

@@ -54,7 +54,8 @@ class FloatMLP:
     @classmethod
     def random(cls, topology: Topology, rng: np.random.Generator | None = None) -> "FloatMLP":
         """He-initialized random MLP."""
-        rng = rng or np.random.default_rng()
+        # Seeded fallback: library defaults must be reproducible (RP03).
+        rng = rng or np.random.default_rng(0)
         weights = []
         biases = []
         for fan_in, fan_out in topology.layer_shapes():

@@ -199,7 +199,7 @@ class LRUCache:
             self.misses += 1
             return default
         self._data.move_to_end(key)
-        self._stamps[key] = time.time()
+        self._stamps[key] = time.time()  # lint: allow(RP03) -- last-used stamps are persisted and aged across runs/processes; only the wall clock is comparable there
         self.hits += 1
         return value
 
@@ -208,7 +208,7 @@ class LRUCache:
         data = self._data
         data[key] = value
         data.move_to_end(key)
-        self._stamps[key] = time.time()
+        self._stamps[key] = time.time()  # lint: allow(RP03) -- last-used stamps are persisted and aged across runs/processes; only the wall clock is comparable there
         while len(data) > self.max_size:
             evicted, _ = data.popitem(last=False)
             self._stamps.pop(evicted, None)
@@ -368,7 +368,7 @@ class EvaluationCache:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         if now is None:
-            now = time.time()
+            now = time.time()  # lint: allow(RP03) -- compaction ages entries against their persisted wall-clock stamps
         sections: Dict[str, List[Tuple[Hashable, Any, float]]] = {}
         for name in self._PERSISTED_SECTIONS:
             section = getattr(self, name)

@@ -188,7 +188,10 @@ class _IslandWorker:
             # Merge-on-load: pick up every segment flushed by other
             # workers (or a previous run) since the last epoch.
             self.pool.refresh(evaluator.cache)
-        rng = np.random.default_rng()
+        # Seed value is irrelevant — the serialized island state is
+        # restored immediately — but construction must still be seeded
+        # so no draw can ever slip through undeterministically (RP03).
+        rng = np.random.default_rng(0)
         rng.bit_generator.state = state.rng_state
         archive = ParetoArchive.restore(
             state.archive_points, max_size=config.archive_size

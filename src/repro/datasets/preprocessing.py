@@ -63,7 +63,9 @@ def stratified_split(
     labels = np.asarray(labels)
     if features.shape[0] != labels.shape[0]:
         raise ValueError("features and labels must have the same number of samples")
-    rng = rng or np.random.default_rng()
+    # Seeded fallback: an unseeded default here silently made the
+    # train/test split irreproducible run to run (RP03).
+    rng = rng or np.random.default_rng(0)
 
     train_indices = []
     test_indices = []

@@ -106,7 +106,8 @@ def generate_synthetic_classification(
         ``features`` has shape ``(num_samples, num_features)`` with values
         in ``[0, 1]``; ``labels`` are integers in ``[0, num_classes)``.
     """
-    rng = rng or np.random.default_rng()
+    # Seeded fallback: library defaults must be reproducible (RP03).
+    rng = rng or np.random.default_rng(0)
     priors = (
         np.asarray(spec.class_priors, dtype=np.float64)
         if spec.class_priors is not None

@@ -105,7 +105,7 @@ def cross_check_store(
         off; ``None`` feature-detects.
     """
     from repro.serving.store import DesignStore
-    from repro.rtl.testbench import extract_testbench_vectors
+    from repro.rtl.vectors import extract_testbench_vectors
 
     if not isinstance(store, DesignStore):
         store = DesignStore(store)

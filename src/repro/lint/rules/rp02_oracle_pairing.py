@@ -1,0 +1,155 @@
+"""RP02 — oracle pairing: every vectorized kernel keeps its scalar twin.
+
+The repo's performance story (PRs 1–4) is "vectorize the hot path,
+keep the scalar walk as a bit-identical ``slow=True`` oracle, assert
+equivalence in tests".  This rule keeps that contract from rotting:
+
+* every **public** function or method with a ``slow`` parameter must
+  actually *use* it (a ``slow`` parameter the body never reads means
+  the oracle path is dead code), and
+* some file under the test corpus must reference the function by name
+  together with ``slow=True`` — the equivalence test that makes the
+  pairing meaningful.
+
+Kernels whose oracle is a *separate function* (rather than a
+``slow=`` branch) register the pairing with a pragma on the ``def``
+line::
+
+    def fast_non_dominated_sort(...):  # lint: oracle-pair(non_dominated_sort_slow)
+
+The named oracle must exist somewhere in the scanned tree and a test
+file must reference both names.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.engine import Finding, Project, Rule, SourceFile
+
+__all__ = ["OraclePairingRule"]
+
+
+class OraclePairingRule(Rule):
+    id = "RP02"
+    title = "oracle pairing (slow= kernels keep a referenced scalar oracle)"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        test_texts = project.test_texts()
+        defined_functions = _all_function_names(project)
+
+        for source in project.files:
+            for node in ast.walk(source.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if node.name.startswith("_"):
+                    continue
+                if not _has_slow_parameter(node):
+                    continue
+                if not _body_reads_name(node, "slow"):
+                    yield Finding(
+                        rule=self.id,
+                        path=source.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{node.name}() takes a slow= oracle parameter "
+                            "but never reads it — the scalar oracle path is dead"
+                        ),
+                        hint="dispatch on slow (or drop the parameter)",
+                    )
+                    continue
+                if not _tests_reference(test_texts, node.name, require_slow=True):
+                    yield Finding(
+                        rule=self.id,
+                        path=source.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"no equivalence test references {node.name} with "
+                            "slow=True — the oracle pairing is unverified"
+                        ),
+                        hint=(
+                            "add a test asserting the fast path matches "
+                            f"{node.name}(..., slow=True)"
+                        ),
+                    )
+
+            # Separate-function pairings registered via pragma.
+            for pragma in source.oracle_pair_pragmas():
+                oracle = pragma.args[0] if pragma.args else ""
+                fast_name = _def_name_at(source, pragma.line)
+                if oracle and oracle not in defined_functions:
+                    yield Finding(
+                        rule=self.id,
+                        path=source.relpath,
+                        line=pragma.line,
+                        col=0,
+                        message=(
+                            f"oracle-pair pragma names {oracle}(), which is not "
+                            "defined anywhere in the scanned tree"
+                        ),
+                    )
+                    continue
+                if oracle and fast_name is not None:
+                    if not _tests_reference_both(test_texts, fast_name, oracle):
+                        yield Finding(
+                            rule=self.id,
+                            path=source.relpath,
+                            line=pragma.line,
+                            col=0,
+                            message=(
+                                f"no test file references both {fast_name} and "
+                                f"its declared oracle {oracle}"
+                            ),
+                            hint="add an equivalence test exercising the pair",
+                        )
+
+
+def _has_slow_parameter(node: ast.FunctionDef) -> bool:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    return "slow" in names
+
+
+def _body_reads_name(node: ast.FunctionDef, name: str) -> bool:
+    for child in node.body:
+        for sub in ast.walk(child):
+            if isinstance(sub, ast.Name) and sub.id == name:
+                return True
+            # ``slow=slow`` forwarding through a keyword argument.
+            if isinstance(sub, ast.keyword) and sub.arg == name:
+                return True
+    return False
+
+
+def _tests_reference(test_texts, name: str, require_slow: bool) -> bool:
+    for text in test_texts.values():
+        if name in text and (not require_slow or "slow=True" in text):
+            return True
+    return False
+
+
+def _tests_reference_both(test_texts, fast_name: str, oracle: str) -> bool:
+    return any(
+        fast_name in text and oracle in text for text in test_texts.values()
+    )
+
+
+def _all_function_names(project: Project) -> Set[str]:
+    names: Set[str] = set()
+    for source in project.files:
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(node.name)
+    return names
+
+
+def _def_name_at(source: SourceFile, line: int) -> str:
+    """Name of the function whose ``def`` statement sits on ``line``."""
+    for node in ast.walk(source.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.lineno <= line <= (node.body[0].lineno if node.body else line):
+                return node.name
+    return None

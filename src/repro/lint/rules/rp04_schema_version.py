@@ -1,0 +1,263 @@
+"""RP04 — schema-version discipline: shape changes bump the version.
+
+Persisted artifacts — design-store records, evaluation-cache
+snapshots, exported :class:`~repro.evaluation.artifacts.Artifact`
+payloads — are guarded by integer version constants
+(``STORE_SCHEMA_VERSION``, ``CACHE_FORMAT_VERSION``,
+``ARTIFACT_SCHEMA_VERSION``): readers refuse mismatched files loudly
+instead of misinterpreting them.  That discipline only works if the
+constant is actually bumped whenever the shape changes.
+
+For every :class:`~repro.lint.config.SchemaTarget` the rule extracts,
+**statically from the AST**, the target module's persisted shape —
+dataclass field lists (name and annotation) and declared layout
+constants — plus the current version value, and diffs both against the
+golden file under ``tests/golden/``.  Outcomes:
+
+* shapes differ, version unchanged → **error**: bump the constant
+  (and then regenerate the golden);
+* shapes differ (or match) with a bumped version → **error**: the
+  golden is stale; regenerate with ``python -m repro.lint
+  --update-golden``;
+* golden missing → error pointing at ``--update-golden``.
+
+``--update-golden`` rewrites the golden from the current tree, which
+is the explicit, reviewable act of acknowledging a schema change.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.config import SchemaTarget
+from repro.lint.engine import Finding, Project, Rule, SourceFile
+
+__all__ = ["SchemaVersionRule", "extract_schema", "write_golden"]
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> List[str]:
+    fields: List[str] = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        annotation = ast.unparse(statement.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields.append(f"{statement.target.id}: {annotation}")
+    return fields
+
+
+def _constant_tuple(value: ast.expr) -> Optional[List[object]]:
+    if isinstance(value, (ast.Tuple, ast.List)):
+        items = []
+        for element in value.elts:
+            if not isinstance(element, ast.Constant):
+                return None
+            items.append(element.value)
+        return items
+    return None
+
+
+def extract_schema(source: SourceFile, target: SchemaTarget) -> Dict[str, object]:
+    """Current shape of ``target`` as pinned by the golden file."""
+    tree = source.tree
+    version: Optional[int] = None
+    version_line = 1
+    shapes: Dict[str, object] = {}
+
+    class_defs: Dict[str, ast.ClassDef] = {}
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            class_defs[node.name] = node
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            name_node = node.targets[0]
+            if isinstance(name_node, ast.Name):
+                if name_node.id == target.version_constant and isinstance(
+                    node.value, ast.Constant
+                ):
+                    version = node.value.value
+                    version_line = node.lineno
+                elif name_node.id in target.constants:
+                    items = _constant_tuple(node.value)
+                    if items is not None:
+                        shapes[name_node.id] = items
+
+    wanted = target.dataclasses
+    if wanted == ("*",):
+        wanted = tuple(
+            name for name, node in class_defs.items() if _is_dataclass_decorated(node)
+        )
+    for name in sorted(wanted):
+        node = class_defs.get(name)
+        if node is not None:
+            shapes[name] = _dataclass_fields(node)
+
+    for spec in target.constants:
+        if "." not in spec:
+            continue
+        class_name, _, attr = spec.partition(".")
+        node = class_defs.get(class_name)
+        if node is None:
+            continue
+        for statement in node.body:
+            if (
+                isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+                and statement.targets[0].id == attr
+            ):
+                items = _constant_tuple(statement.value)
+                if items is not None:
+                    shapes[spec] = items
+
+    return {
+        "version_constant": target.version_constant,
+        "version": version,
+        "version_line": version_line,
+        "shapes": shapes,
+    }
+
+
+def write_golden(project: Project) -> Path:
+    """Regenerate the golden shape file from the current tree."""
+    golden: Dict[str, object] = {}
+    for target in project.config.schema_targets:
+        source = project.modules.get(target.module)
+        if source is None:
+            continue
+        extracted = extract_schema(source, target)
+        golden[target.module] = {
+            "version_constant": extracted["version_constant"],
+            "version": extracted["version"],
+            "shapes": extracted["shapes"],
+        }
+    path = Path(project.config.golden_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(golden, indent=2, sort_keys=True, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+class SchemaVersionRule(Rule):
+    id = "RP04"
+    title = "schema-version discipline (persisted shapes vs. golden files)"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        config = project.config
+        if not config.schema_targets:
+            return
+        if config.update_golden:
+            write_golden(project)
+            return
+        golden_path = Path(config.golden_path) if config.golden_path else None
+        golden: Optional[Dict[str, object]] = None
+        if golden_path is not None and golden_path.exists():
+            golden = json.loads(golden_path.read_text(encoding="utf-8"))
+
+        for target in config.schema_targets:
+            source = project.modules.get(target.module)
+            if source is None:
+                continue
+            current = extract_schema(source, target)
+            if current["version"] is None:
+                yield Finding(
+                    rule=self.id,
+                    path=source.relpath,
+                    line=1,
+                    col=0,
+                    message=(
+                        f"{target.module} defines no integer constant "
+                        f"{target.version_constant}"
+                    ),
+                )
+                continue
+            if golden is None or target.module not in golden:
+                yield Finding(
+                    rule=self.id,
+                    path=source.relpath,
+                    line=int(current["version_line"]),
+                    col=0,
+                    message=(
+                        f"no golden schema recorded for {target.module} "
+                        f"(expected in {golden_path})"
+                    ),
+                    hint="run python -m repro.lint --update-golden",
+                )
+                continue
+            pinned = golden[target.module]
+            same_shapes = pinned.get("shapes") == current["shapes"]
+            same_version = pinned.get("version") == current["version"]
+            if same_shapes and same_version:
+                continue
+            if not same_shapes and same_version:
+                drift = _describe_drift(pinned.get("shapes") or {}, current["shapes"])
+                yield Finding(
+                    rule=self.id,
+                    path=source.relpath,
+                    line=int(current["version_line"]),
+                    col=0,
+                    message=(
+                        f"persisted shape of {target.module} changed without a "
+                        f"{target.version_constant} bump "
+                        f"(still {current['version']}): {drift}"
+                    ),
+                    hint=(
+                        f"bump {target.version_constant}, then regenerate the "
+                        "golden with python -m repro.lint --update-golden"
+                    ),
+                )
+            else:
+                yield Finding(
+                    rule=self.id,
+                    path=source.relpath,
+                    line=int(current["version_line"]),
+                    col=0,
+                    message=(
+                        f"{target.version_constant} is {current['version']} but the "
+                        f"golden schema pins {pinned.get('version')} — the golden "
+                        "file is stale"
+                    ),
+                    hint="regenerate with python -m repro.lint --update-golden",
+                )
+
+
+def _describe_drift(
+    pinned: Dict[str, List[object]], current: Dict[str, object]
+) -> str:
+    notes: List[str] = []
+    for name in sorted(set(pinned) | set(current)):
+        before = pinned.get(name)
+        after = current.get(name)
+        if before == after:
+            continue
+        if before is None:
+            notes.append(f"{name} added")
+        elif after is None:
+            notes.append(f"{name} removed")
+        else:
+            added = [f for f in after if f not in before]
+            removed = [f for f in before if f not in after]
+            detail = []
+            if added:
+                detail.append(f"+{added}")
+            if removed:
+                detail.append(f"-{removed}")
+            notes.append(f"{name} changed {' '.join(detail) or '(reordered)'}")
+    return "; ".join(notes) or "shape drift"

@@ -1,0 +1,109 @@
+"""RP06 — strict-JSON safety: no silent NaN/Infinity in emitted JSON.
+
+Python's :mod:`json` serializes non-finite floats as the bare tokens
+``NaN``/``Infinity`` by default — output that is **not JSON** and that
+strict readers (including this repo's own
+:meth:`~repro.evaluation.artifacts.Artifact.from_json` and the design
+store) reject loudly.  Every artifact/store/CLI emitter therefore
+passes ``allow_nan=False`` (the artifact layer encodes non-finite
+cells explicitly instead).  The rule flags any ``json.dump``/
+``json.dumps`` call in library code that omits ``allow_nan=False`` —
+including ``allow_nan=True``, and dynamic ``**kwargs`` where the
+intent cannot be proven.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.engine import Finding, Project, Rule
+
+__all__ = ["StrictJsonRule"]
+
+
+class StrictJsonRule(Rule):
+    id = "RP06"
+    title = "strict-JSON safety (json.dump(s) without allow_nan=False)"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.files:
+            json_aliases = _json_aliases(source.tree)
+            direct_names = _direct_dump_names(source.tree)
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = self._dump_call_name(node, json_aliases, direct_names)
+                if name is None:
+                    continue
+                verdict = self._allow_nan_verdict(node)
+                if verdict is None:
+                    continue
+                yield Finding(
+                    rule=self.id,
+                    path=source.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=f"{name}() {verdict}",
+                    hint=(
+                        "pass allow_nan=False (and encode non-finite values "
+                        "explicitly, as Artifact.to_json does)"
+                    ),
+                )
+
+    @staticmethod
+    def _dump_call_name(
+        node: ast.Call, json_aliases: Set[str], direct_names: Set[str]
+    ) -> Optional[str]:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("dump", "dumps")
+            and isinstance(func.value, ast.Name)
+            and func.value.id in json_aliases
+        ):
+            return f"json.{func.attr}"
+        if isinstance(func, ast.Name) and func.id in direct_names:
+            return func.id
+        return None
+
+    @staticmethod
+    def _allow_nan_verdict(node: ast.Call) -> Optional[str]:
+        """Reason the call is unsafe, or None when it is fine."""
+        saw_star_kwargs = False
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                saw_star_kwargs = True
+                continue
+            if keyword.arg == "allow_nan":
+                if (
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is False
+                ):
+                    return None
+                return "passes allow_nan that is not the literal False"
+        if saw_star_kwargs:
+            # ``**kwargs`` *might* carry allow_nan=False, but strictness
+            # must be provable at the call site.
+            return "hides its keyword arguments behind **kwargs (allow_nan unproven)"
+        return "omits allow_nan=False — non-finite floats would emit invalid JSON"
+
+
+def _json_aliases(tree: ast.AST) -> Set[str]:
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "json":
+                    aliases.add(alias.asname or "json")
+    return aliases
+
+
+def _direct_dump_names(tree: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "json":
+            for alias in node.names:
+                if alias.name in ("dump", "dumps"):
+                    names.add(alias.asname or alias.name)
+    return names

@@ -9,22 +9,31 @@ the equivalent Verilog-2001 text:
   combinational module implementing equation (4) with every mask, sign,
   shift and bias hard-wired,
 * :func:`~repro.rtl.testbench.generate_testbench` — a self-checking
-  testbench whose expected responses come from the Python golden model.
+  testbench whose expected responses come from the Python golden model,
+* :mod:`repro.rtl.vectors` — the *pure* parsing half (recovering
+  stimulus/golden vectors from emitted testbench text), importable by
+  query-time code without dragging the model stack in.
+
+Like the other package roots, the re-exports resolve lazily (PEP 562):
+``import repro.rtl.vectors`` must not execute the generator modules,
+whose :mod:`repro.approx` dependency is forbidden in the query-time
+import closure (lint rule RP01).
 """
 
-from repro.rtl.verilog import (
-    evaluate_neuron_expression,
-    extract_accumulator_expressions,
-    generate_mlp_verilog,
-    generate_neuron_expression,
-)
-from repro.rtl.testbench import extract_testbench_vectors, generate_testbench
+from repro._lazy import lazy_exports
 
-__all__ = [
-    "generate_mlp_verilog",
-    "generate_neuron_expression",
-    "evaluate_neuron_expression",
-    "extract_accumulator_expressions",
-    "generate_testbench",
-    "extract_testbench_vectors",
-]
+_EXPORTS = {
+    "generate_mlp_verilog": "repro.rtl.verilog",
+    "generate_neuron_expression": "repro.rtl.verilog",
+    "evaluate_neuron_expression": "repro.rtl.verilog",
+    "extract_accumulator_expressions": "repro.rtl.verilog",
+    "generate_testbench": "repro.rtl.testbench",
+    "extract_testbench_vectors": "repro.rtl.vectors",
+    "TestbenchVectors": "repro.rtl.vectors",
+}
+
+_SUBMODULES = ("testbench", "vectors", "verilog")
+
+__all__ = sorted(_EXPORTS)
+
+__getattr__, __dir__ = lazy_exports(__name__, globals(), _EXPORTS, _SUBMODULES)

@@ -8,48 +8,18 @@ the paper's functional simulation step.
 
 from __future__ import annotations
 
-import re
-from typing import List, NamedTuple, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.approx.mlp import ApproximateMLP
 
+# The parsing half lives in the pure :mod:`repro.rtl.vectors` module so
+# query-time code (the EDA cross-check flow) can use it without pulling
+# the model stack in; re-exported here for the historical import path.
+from repro.rtl.vectors import TestbenchVectors, extract_testbench_vectors
+
 __all__ = ["TestbenchVectors", "generate_testbench", "extract_testbench_vectors"]
-
-
-class TestbenchVectors(NamedTuple):
-    """Stimulus and golden responses recovered from a testbench text.
-
-    A named result (still unpackable as the historical ``(vectors,
-    golden)`` tuple) so downstream consumers — the verification harness,
-    the EDA cross-check flow, the store's RTL records — can talk about
-    ``.vectors``/``.golden``/``.num_vectors`` instead of positional
-    indices.
-    """
-
-    #: Not a test class, despite the pytest-shaped name.
-    __test__ = False
-
-    #: ``(n, num_inputs)`` int64 applied input vectors.
-    vectors: np.ndarray
-    #: ``(n,)`` int64 expected class indices.
-    golden: np.ndarray
-
-    @property
-    def num_vectors(self) -> int:
-        """Number of applied stimulus vectors."""
-        return int(self.golden.size)
-
-    @property
-    def num_inputs(self) -> int:
-        """Number of primary inputs each vector drives."""
-        return int(self.vectors.shape[1])
-
-#: One applied input assignment: ``inN = <bits>'d<value>;`` lines.
-_INPUT_RE = re.compile(r"^\s*in(\d+) = \d+'d(\d+);$", re.MULTILINE)
-#: One golden self-check: ``if (class_index !== <bits>'d<value>)`` lines.
-_GOLDEN_RE = re.compile(r"class_index !== \d+'d(\d+)\)")
 
 
 def generate_testbench(
@@ -116,40 +86,3 @@ def generate_testbench(
     lines.append("    end")
     lines.append("endmodule")
     return "\n".join(lines) + "\n"
-
-
-def extract_testbench_vectors(text: str) -> TestbenchVectors:
-    """Recover the applied vectors and golden responses from a testbench.
-
-    Parses the literal stimulus assignments (``inN = ...``) and golden
-    self-checks (``class_index !== ...``) out of the Verilog text emitted
-    by :func:`generate_testbench`.  This is what the differential
-    verification harness (:mod:`repro.evaluation.verification`) checks
-    the *generated RTL artifact itself* against — the golden vectors are
-    read back from the testbench text, not taken from the Python model
-    that produced it.
-
-    Returns
-    -------
-    A :class:`TestbenchVectors` — an ``(n, num_inputs)`` int64 array of
-    the applied input vectors and an ``(n,)`` int64 array of the
-    expected class indices (unpackable as ``(vectors, golden)``).
-    Raises ``ValueError`` when the text does not look like a generated
-    testbench.
-    """
-    golden = np.array([int(g) for g in _GOLDEN_RE.findall(text)], dtype=np.int64)
-    assignments = [(int(i), int(v)) for i, v in _INPUT_RE.findall(text)]
-    if golden.size == 0 or not assignments:
-        raise ValueError("text does not contain generated testbench stimulus")
-    if len(assignments) % golden.size:
-        raise ValueError(
-            f"{len(assignments)} input assignments do not divide into "
-            f"{golden.size} golden checks"
-        )
-    num_inputs = len(assignments) // golden.size
-    vectors = np.zeros((golden.size, num_inputs), dtype=np.int64)
-    for flat, (index, value) in enumerate(assignments):
-        if index != flat % num_inputs:
-            raise ValueError("input assignments are not in canonical order")
-        vectors[flat // num_inputs, index] = value
-    return TestbenchVectors(vectors=vectors, golden=golden)

@@ -263,7 +263,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 json.dump(result, sys.stdout, sort_keys=False, allow_nan=False)
                 sys.stdout.write("\n")
             if args.metrics:
-                print(json.dumps(service.metrics(), indent=2), file=sys.stderr)
+                print(
+                    json.dumps(service.metrics(), indent=2, allow_nan=False),
+                    file=sys.stderr,
+                )
             if any(not result["ok"] for result in results):
                 code = 1
     except StoreError as exc:

@@ -452,6 +452,7 @@ class DesignStore:
             {"kind": _KIND_MANIFEST, "schema_version": STORE_SCHEMA_VERSION},
             indent=2,
             sort_keys=True,
+            allow_nan=False,
         )
         fd, tmp_name = tempfile.mkstemp(dir=self.root, prefix=_MANIFEST, suffix=".tmp")
         with os.fdopen(fd, "w", encoding="utf-8") as handle:

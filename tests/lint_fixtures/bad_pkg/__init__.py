@@ -1,0 +1,1 @@
+"""Known-bad fixture package: one module per lint rule, tripping it."""

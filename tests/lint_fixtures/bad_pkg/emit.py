@@ -1,0 +1,19 @@
+"""RP06 fixtures: json emitters that are not provably strict."""
+
+import json
+
+
+def loose(payload):
+    return json.dumps(payload)
+
+
+def explicit_true(payload):
+    return json.dumps(payload, allow_nan=True)
+
+
+def hidden(payload, **kwargs):
+    return json.dumps(payload, **kwargs)
+
+
+def strict(payload):
+    return json.dumps(payload, allow_nan=False)

@@ -1,0 +1,17 @@
+"""RP02 fixtures: broken oracle pairings."""
+
+import numpy as np
+
+
+def dead_oracle(values, slow=False):
+    return float(np.sum(np.asarray(values)))
+
+
+def unverified(values, slow=False):
+    if slow:
+        return sum(values)
+    return float(np.sum(np.asarray(values)))
+
+
+def fast_sum(values):  # lint: oracle-pair(missing_oracle)
+    return float(np.sum(np.asarray(values)))

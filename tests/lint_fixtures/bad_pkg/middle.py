@@ -1,0 +1,7 @@
+"""Innocent-looking hop between the pure zone and the search zone."""
+
+from bad_pkg.search_zone.trainer import train
+
+
+def helper():
+    return train()

@@ -1,0 +1,29 @@
+"""RP05 fixtures: unpicklable callables crossing a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Runner:
+    def run(self, items):
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            return [pool.submit(lambda x: x + 1, item) for item in items]
+
+    def run_bound(self, items):
+        with ProcessPoolExecutor() as pool:
+            return list(pool.map(self._step, items))
+
+    def _step(self, item):
+        return item
+
+
+def run_nested(items):
+    def step(item):
+        return item * 2
+
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(step, item) for item in items]
+
+
+def run_with_initializer(items):
+    with ProcessPoolExecutor(initializer=lambda: None) as pool:
+        return list(pool.map(len, items))

@@ -1,0 +1,27 @@
+"""RP03 fixtures: every call below is a determinism violation."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def legacy_draw():
+    return np.random.rand(3)
+
+
+def unseeded():
+    return np.random.default_rng()
+
+
+def stdlib_draw():
+    return random.random()
+
+
+def stamp():
+    return time.time()
+
+
+def born():
+    return datetime.now()

@@ -1,0 +1,13 @@
+"""RP04 fixture: a version-stamped persisted record."""
+
+from dataclasses import dataclass
+
+RECORD_SCHEMA_VERSION = 1
+
+LAYOUT = ("alpha", "beta")
+
+
+@dataclass
+class Record:
+    name: str
+    value: float

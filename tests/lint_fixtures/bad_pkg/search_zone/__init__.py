@@ -1,0 +1,1 @@
+"""The forbidden search-time zone of the bad fixture package."""

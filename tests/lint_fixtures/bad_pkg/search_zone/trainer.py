@@ -1,0 +1,5 @@
+"""Search-time module the pure zone must never reach."""
+
+
+def train():
+    return "search-time"

@@ -1,0 +1,1 @@
+"""The fixture's "pure" zone — which illegally reaches the search zone."""

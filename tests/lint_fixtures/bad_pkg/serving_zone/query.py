@@ -1,0 +1,7 @@
+"""RP01 fixture: the purity breach is three modules deep."""
+
+from bad_pkg.middle import helper
+
+
+def lookup():
+    return helper()

@@ -1,0 +1,7 @@
+"""A justified pragma: the finding suppresses cleanly, RP00 stays quiet."""
+
+import time
+
+
+def stamp():
+    return time.time()  # lint: allow(RP03) -- fixture: demonstrates a justified exemption

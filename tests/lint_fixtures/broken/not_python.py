@@ -1,0 +1,2 @@
+def broken(:
+    this file deliberately does not parse

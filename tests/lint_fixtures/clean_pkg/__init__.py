@@ -1,0 +1,1 @@
+"""Known-good fixture package: the full lint battery finds nothing here."""

@@ -1,0 +1,1 @@
+"""Search-time zone the pure zone must never reach (and does not)."""

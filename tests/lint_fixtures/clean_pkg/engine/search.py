@@ -1,0 +1,7 @@
+"""Forbidden target for the clean package's purity policy."""
+
+STATE = "search-time"
+
+
+def run_search():
+    return STATE

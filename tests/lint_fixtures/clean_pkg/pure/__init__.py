@@ -1,0 +1,5 @@
+"""The pure query-time zone of the clean fixture package."""
+
+from .api import emit, paired_kernel, seeded_draw
+
+__all__ = ["emit", "paired_kernel", "seeded_draw"]

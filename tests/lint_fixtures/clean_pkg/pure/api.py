@@ -1,0 +1,34 @@
+"""Clean module: seeded RNG, strict JSON, verified oracle pairings."""
+
+import json
+
+import numpy as np
+
+
+def seeded_draw(seed):
+    rng = np.random.default_rng(seed)
+    return float(rng.random())
+
+
+def paired_kernel(values, slow=False):
+    if slow:
+        total = 0.0
+        for value in values:
+            total += value
+        return total
+    return float(np.sum(np.asarray(values)))
+
+
+def fast_norm(values):  # lint: oracle-pair(slow_norm)
+    return float(np.sqrt(np.sum(np.square(np.asarray(values)))))
+
+
+def slow_norm(values):
+    total = 0.0
+    for value in values:
+        total += value * value
+    return total ** 0.5
+
+
+def emit(payload):
+    return json.dumps(payload, allow_nan=False)

@@ -1,0 +1,9 @@
+"""RP02 corpus for the fixtures (never collected: no test_ prefix)."""
+
+
+def check_paired_kernel(paired_kernel):
+    assert paired_kernel([1.0, 2.0]) == paired_kernel([1.0, 2.0], slow=True)
+
+
+def check_norm_pair(fast_norm, slow_norm):
+    assert fast_norm([3.0, 4.0]) == slow_norm([3.0, 4.0])

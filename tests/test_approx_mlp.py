@@ -33,6 +33,17 @@ class TestApproximateMLP:
         assert mlp.layers[0].activation is not None
         assert mlp.layers[1].activation is None
 
+    def test_random_default_rng_is_deterministic(self, small_topology, approx_config):
+        # Regression (lint RP03): ApproximateMLP.random() without an
+        # explicit generator used to draw an irreproducible network.
+        first = ApproximateMLP.random(small_topology, approx_config)
+        second = ApproximateMLP.random(small_topology, approx_config)
+        for a, b in zip(first.layers, second.layers):
+            np.testing.assert_array_equal(a.masks, b.masks)
+            np.testing.assert_array_equal(a.signs, b.signs)
+            np.testing.assert_array_equal(a.exponents, b.exponents)
+            np.testing.assert_array_equal(a.biases, b.biases)
+
     def test_forward_and_predict_shapes(self, random_mlp, rng):
         x = rng.integers(0, 16, size=(13, 4))
         scores = random_mlp.forward(x)

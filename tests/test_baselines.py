@@ -38,6 +38,17 @@ def trained_baseline(toy_data):
 
 
 class TestGradientTrainer:
+    def test_random_default_rng_is_deterministic(self):
+        # Regression (lint RP03): FloatMLP.random() without an explicit
+        # generator used to He-initialize from OS entropy.
+        topology = Topology((6, 4, 3))
+        first = FloatMLP.random(topology)
+        second = FloatMLP.random(topology)
+        for a, b in zip(first.weights, second.weights):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(first.biases, second.biases):
+            np.testing.assert_array_equal(a, b)
+
     def test_learns_separable_data(self, toy_data):
         x_train, y_train, x_test, y_test = toy_data
         result = GradientTrainer(epochs=60, restarts=1, seed=0).train(x_train, y_train, (6, 4, 3))

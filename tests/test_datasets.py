@@ -59,6 +59,16 @@ class TestPreprocessing:
         with pytest.raises(ValueError):
             stratified_split(np.zeros((4, 2)), np.zeros(5), 0.7, rng)
 
+    def test_stratified_split_default_rng_is_deterministic(self, rng):
+        # Regression (lint RP03): the unseeded fallback generator made
+        # the default split silently differ run to run.
+        labels = rng.integers(0, 3, size=120)
+        features = rng.random((120, 4))
+        first = stratified_split(features, labels, 0.7)
+        second = stratified_split(features, labels, 0.7)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
 
 class TestSyntheticGeneration:
     def test_shapes_and_ranges(self, rng):
@@ -74,6 +84,15 @@ class TestSyntheticGeneration:
         a = generate_synthetic_classification(spec, np.random.default_rng(5))
         b = generate_synthetic_classification(spec, np.random.default_rng(5))
         assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_default_rng_is_deterministic(self):
+        # Regression (lint RP03): generating without an explicit rng
+        # used to draw a fresh OS-entropy generator every call.
+        spec = SyntheticSpec(num_samples=60, num_features=4, num_classes=3)
+        x1, y1 = generate_synthetic_classification(spec)
+        x2, y2 = generate_synthetic_classification(spec)
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(y1, y2)
 
     def test_class_priors_respected(self, rng):
         spec = SyntheticSpec(

@@ -84,6 +84,17 @@ class TestNetlistSimulation:
         for _ in range(5):
             assert verify_neuron_netlist(make_neuron(rng), rng=rng, num_vectors=8)
 
+    def test_verify_slow_oracle_equivalence(self, rng, make_neuron):
+        # Oracle pairing (lint RP02): the batched verification path must
+        # agree with the scalar slow=True reference walk on the same
+        # neuron and the same drawn vectors.
+        for _ in range(3):
+            neuron = make_neuron(rng)
+            high = 1 << neuron.input_bits
+            inputs = rng.integers(0, high, size=(8, neuron.fan_in)).tolist()
+            assert verify_neuron_netlist(neuron, inputs=inputs)
+            assert verify_neuron_netlist(neuron, inputs=inputs, slow=True)
+
     def test_simulate_missing_input_raises(self, rng, make_neuron):
         neuron = make_neuron(rng)
         netlist = build_neuron_netlist(neuron)

@@ -1,0 +1,198 @@
+"""Tests for the :mod:`repro.lint` engine: scanning, pragmas, graph, runner."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Finding, Project, _parse_pragmas, run_rules
+from repro.lint.rules import ALL_RULES, rules_by_id
+from repro.lint.rules.rp03_nondeterminism import NondeterminismRule
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def make_project(*roots, **config_kwargs):
+    return Project([FIXTURES / root for root in roots], LintConfig(**config_kwargs))
+
+
+class TestScanning:
+    def test_module_names_from_package_structure(self):
+        project = make_project("bad_pkg")
+        assert "bad_pkg" in project.modules
+        assert "bad_pkg.middle" in project.modules
+        assert "bad_pkg.serving_zone.query" in project.modules
+        assert "bad_pkg.search_zone.trainer" in project.modules
+        assert project.modules["bad_pkg"].is_package
+
+    def test_single_file_root(self):
+        project = make_project("bad_pkg/rng.py")
+        assert list(project.modules) == ["bad_pkg.rng"]
+
+    def test_broken_file_surfaces_as_rp00(self):
+        project = make_project("broken")
+        assert len(project.broken) == 1
+        finding = project.broken[0]
+        assert finding.rule == "RP00"
+        assert finding.path.endswith("not_python.py")
+        assert "does not parse" in finding.message
+        findings, _ = run_rules(project, rules=[])
+        assert finding in findings
+
+
+class TestPragmas:
+    def test_parse_allow_with_reason(self):
+        pragmas = _parse_pragmas("x = 1  # lint: allow(RP03, RP06) -- because\n")
+        assert len(pragmas) == 1
+        assert pragmas[0].verb == "allow"
+        assert pragmas[0].args == ("RP03", "RP06")
+        assert pragmas[0].reason == "because"
+        assert pragmas[0].line == 1
+
+    def test_parse_oracle_pair(self):
+        pragmas = _parse_pragmas("def f():  # lint: oracle-pair(slow_f)\n    pass\n")
+        assert pragmas[0].verb == "oracle-pair"
+        assert pragmas[0].args == ("slow_f",)
+        assert pragmas[0].reason is None
+
+    def test_pragma_only_in_real_comments(self):
+        # A pragma-looking substring inside a string literal is not a pragma.
+        pragmas = _parse_pragmas('text = "# lint: allow(RP03)"\n')
+        assert pragmas == []
+
+    def test_line_and_file_queries(self):
+        project = make_project("bad_pkg/suppressed.py")
+        source = project.modules["bad_pkg.suppressed"]
+        assert source.line_allows("RP03", 7)
+        assert not source.line_allows("RP03", 6)
+        assert not source.line_allows("RP06", 7)
+        assert not source.file_allows("RP03")
+
+
+class TestImportGraph:
+    def test_relative_import_resolved(self):
+        project = make_project("clean_pkg")
+        edges = project.edges["clean_pkg.pure"]
+        assert any(e.target == "clean_pkg.pure.api" for e in edges)
+
+    def test_from_import_of_submodule_adds_precise_edge(self):
+        project = make_project("bad_pkg")
+        edges = project.edges["bad_pkg.middle"]
+        assert any(e.target == "bad_pkg.search_zone.trainer" for e in edges)
+
+    def test_expand_target_includes_ancestor_packages(self):
+        project = make_project("bad_pkg")
+        expanded = project.expand_target("bad_pkg.search_zone.trainer")
+        assert expanded == ["bad_pkg", "bad_pkg.search_zone", "bad_pkg.search_zone.trainer"]
+
+    def test_closure_and_chain(self):
+        project = make_project("bad_pkg")
+        closure = project.closure(["bad_pkg.serving_zone", "bad_pkg.serving_zone.query"])
+        assert "bad_pkg.search_zone.trainer" in closure
+        chain = project.chain(closure, "bad_pkg.search_zone.trainer")
+        assert chain == [
+            "bad_pkg.serving_zone.query",
+            "bad_pkg.middle",
+            "bad_pkg.search_zone.trainer",
+        ]
+
+    def test_type_checking_imports_excluded(self, tmp_path):
+        (tmp_path / "mod_a.py").write_text(
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    import mod_b\n",
+            encoding="utf-8",
+        )
+        (tmp_path / "mod_b.py").write_text("VALUE = 1\n", encoding="utf-8")
+        project = Project([tmp_path], LintConfig())
+        closure = project.closure(["mod_a"])
+        assert "mod_b" not in closure
+        closure = project.closure(["mod_a"], include_type_checking=True)
+        assert "mod_b" in closure
+
+    def test_function_level_imports_included(self, tmp_path):
+        (tmp_path / "mod_a.py").write_text(
+            "def late():\n    import mod_b\n    return mod_b\n", encoding="utf-8"
+        )
+        (tmp_path / "mod_b.py").write_text("VALUE = 1\n", encoding="utf-8")
+        project = Project([tmp_path], LintConfig())
+        edges = project.edges["mod_a"]
+        assert edges and edges[0].function_level
+        assert "mod_b" in project.closure(["mod_a"])
+
+
+class TestFinding:
+    def test_format_text_and_hint(self):
+        finding = Finding("RP03", "src/x.py", 4, 2, "bad", hint="fix it")
+        assert finding.format_text() == "src/x.py:4:2: RP03 error: bad  [hint: fix it]"
+
+    def test_to_dict_omits_missing_hint(self):
+        payload = Finding("RP06", "a.py", 1, 0, "msg").to_dict()
+        assert payload["rule"] == "RP06"
+        assert "hint" not in payload
+
+    def test_fingerprint_is_line_free(self):
+        a = Finding("RP03", "a.py", 4, 0, "msg")
+        b = Finding("RP03", "a.py", 90, 7, "msg")
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestRunRules:
+    def test_justified_pragma_suppresses_without_rp00(self):
+        project = make_project("bad_pkg/suppressed.py")
+        findings, stats = run_rules(project, rules=[NondeterminismRule()])
+        assert findings == []
+        assert stats.suppressed == 1
+        assert stats.pragmas == 1
+
+    def test_pragma_discipline_findings(self):
+        project = make_project("bad_pkg/pragmas.py")
+        findings, stats = run_rules(project, rules=[])
+        by_line = {f.line: f for f in findings}
+        assert all(f.rule == "RP00" for f in findings)
+        assert "unexplained lint pragma allow(RP03)" in by_line[7].message
+        assert "unknown lint pragma verb 'frobnicate'" in by_line[11].message
+        assert "unknown rule(s) ['RP99']" in by_line[15].message
+
+    def test_unexplained_pragma_still_suppresses_but_is_flagged(self):
+        # The RP03 finding on line 7 is suppressed, yet RP00 reports the
+        # missing justification — an escape hatch cannot be silent.
+        project = make_project("bad_pkg/pragmas.py")
+        findings, stats = run_rules(project, rules=[NondeterminismRule()])
+        assert stats.suppressed == 1
+        assert not any(f.rule == "RP03" and f.line == 7 for f in findings)
+        assert any(f.rule == "RP00" and f.line == 7 for f in findings)
+
+    def test_baseline_filters_by_fingerprint(self):
+        project = make_project("bad_pkg/rng.py")
+        findings, _ = run_rules(project, rules=[NondeterminismRule()])
+        assert len(findings) == 5
+        baseline = {f.fingerprint() for f in findings}
+        filtered, stats = run_rules(
+            project, rules=[NondeterminismRule()], baseline=baseline
+        )
+        assert filtered == []
+        assert stats.baseline_skipped == 5
+
+    def test_findings_sorted_by_location(self):
+        project = make_project("bad_pkg")
+        findings, _ = run_rules(project, rules=[NondeterminismRule()])
+        keys = [(f.path, f.line, f.col, f.rule) for f in findings]
+        assert keys == sorted(keys)
+
+
+class TestRuleRegistry:
+    def test_all_rules_have_unique_ids(self):
+        ids = [rule.id for rule in ALL_RULES]
+        assert len(ids) == len(set(ids)) == 6
+
+    def test_rules_by_id_selects(self):
+        (rule,) = rules_by_id(["RP03"])
+        assert rule.id == "RP03"
+
+    def test_rules_by_id_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            rules_by_id(["RP99"])
+
+    def test_rules_by_id_none_returns_full_battery(self):
+        assert [r.id for r in rules_by_id(None)] == [r.id for r in ALL_RULES]
